@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: interconnect sensitivity (paper Section 8, "the dominant
+ * bottleneck of the multi-chip interconnection").  Sweeps CXL link
+ * bandwidth and latency and the dataflow optimisations (FlashAttention
+ * score statistics, score reduce-scatter, distributed sampling) to
+ * show how each shapes system throughput at 2K context.
+ */
+
+#include "bench_util.hh"
+#include "pipeline/pipeline_sim.hh"
+
+namespace {
+
+using namespace hnlpu;
+
+PipelineResult
+runCfg(PipelineConfig cfg)
+{
+    cfg.warmupTokens = 250;
+    cfg.measuredTokens = 600;
+    return PipelineSim(cfg).run();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: CXL link bandwidth sweep (2K context)");
+    Table bw({"Link bandwidth", "Tokens/s", "Comm share",
+              "Col link util"});
+    for (double gbps : {64.0, 128.0, 256.0, 512.0}) {
+        auto cfg = defaultGptOssPipeline(2048);
+        cfg.link.bandwidth = gbps * 1e9;
+        const auto r = runCfg(cfg);
+        bw.addRow({commaString(gbps) + " GB/s",
+                   commaString(r.tokensPerSecond),
+                   percentString(r.breakdown.commShare()),
+                   percentString(r.colLinkUtilization)});
+    }
+    bw.print();
+
+    bench::banner("Ablation: CXL latency sweep (2K context)");
+    Table lat({"Link latency", "Tokens/s", "Token latency"});
+    for (double ns : {50.0, 100.0, 200.0, 400.0}) {
+        auto cfg = defaultGptOssPipeline(2048);
+        cfg.link.latency = ns * 1e-9;
+        const auto r = runCfg(cfg);
+        lat.addRow({commaString(ns) + " ns",
+                    commaString(r.tokensPerSecond),
+                    siString(r.tokenLatency, "s", 3)});
+    }
+    lat.print();
+
+    bench::banner("Ablation: dataflow optimisations (64K context)");
+    Table opt({"Configuration", "Tokens/s", "Comm share"});
+    struct Variant
+    {
+        const char *name;
+        bool flash, rs, sample;
+    };
+    const Variant variants[] = {
+        {"all optimisations (paper dataflow)", true, true, true},
+        {"naive score exchange", false, true, true},
+        {"naive score, no reduce-scatter", false, false, true},
+        {"full logit gather sampling", true, true, false},
+    };
+    for (const auto &v : variants) {
+        auto cfg = defaultGptOssPipeline(65536);
+        cfg.flashScoreStats = v.flash;
+        cfg.scoreReduceScatter = v.rs;
+        cfg.distributedSampling = v.sample;
+        const auto r = runCfg(cfg);
+        opt.addRow({v.name, commaString(r.tokensPerSecond),
+                    percentString(r.breakdown.commShare())});
+    }
+    opt.print();
+    return 0;
+}

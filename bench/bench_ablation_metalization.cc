@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Ablation: metalization physics (paper Sections 3.1/3.2/7.1).
+ * Compiles representative gpt-oss weight blocks with the
+ * Hardwired-Neuron Compiler and reports routing density against the
+ * 70% sign-off limit, slack (accumulator over-provisioning) behaviour
+ * under skewed weight distributions, and the sensitivity of density to
+ * the track pitch of the M8-M11 layers.
+ */
+
+#include "bench_util.hh"
+#include "hn/hn_array.hh"
+#include "hncc/compiler.hh"
+#include "model/model_zoo.hh"
+
+namespace {
+
+using namespace hnlpu;
+
+SeaOfNeuronsTemplate
+tmplFor(std::size_t fan_in, double slack)
+{
+    SeaOfNeuronsTemplate tmpl;
+    tmpl.inputCount = fan_in;
+    tmpl.portsPerSlice = 64;
+    tmpl.slackFactor = slack;
+    return tmpl;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("hncc: gpt-oss projection blocks through the "
+                  "Hardwired-Neuron Compiler");
+
+    HnCompiler compiler(n5Technology());
+    struct Block { const char *name; std::size_t rows, cols; };
+    const Block blocks[] = {
+        {"Wq column slice (1024 x 720)", 64, 720},
+        {"Router (128 x 2880)", 128, 2880},
+        {"Expert up-projection rows", 64, 2880},
+        {"Unembedding rows", 64, 2880},
+    };
+
+    Table table({"Block", "Wires", "Grounded", "Slack util",
+                 "Wire length", "Routing density", "Sign-off"});
+    for (const auto &b : blocks) {
+        auto weights = syntheticFp4Weights(b.rows * b.cols,
+                                           b.rows * 13 + b.cols);
+        const auto plan = compiler.compile(tmplFor(b.cols, 2.0),
+                                           weights, b.rows, b.cols);
+        const auto &s = plan.stats();
+        table.addRow({b.name, commaString(double(s.wires)),
+                      commaString(double(s.groundedPorts)),
+                      percentString(s.slackUtilisation),
+                      commaString(s.totalWireLengthMm, 1) + " mm",
+                      percentString(s.routingDensity),
+                      plan.drcClean() ? "clean (<70%)" : "VIOLATION"});
+    }
+    table.print();
+    std::printf("\nPaper Section 7.1: routing density on the ME layers "
+                "(M8-M11) remains below 70%%.\n");
+
+    bench::banner("Slack sweep: accumulator over-provisioning vs "
+                  "weight-histogram skew");
+    Table slack_t({"Slack factor", "Balanced weights",
+                   "Skewed (90% one value)"});
+    const std::size_t rows = 8, cols = 2880;
+    auto balanced = syntheticFp4Weights(rows * cols, 3);
+    std::vector<Fp4> skewed;
+    for (std::size_t i = 0; i < rows * cols; ++i) {
+        skewed.push_back(i % 10 == 0 ? Fp4::quantize(-2.0)
+                                     : Fp4::quantize(1.0));
+    }
+    auto verdict = [](const MetalizationPlan &plan) -> std::string {
+        for (const auto &v : plan.violations()) {
+            if (v.message.find("slices") != std::string::npos)
+                return "CAPACITY OVERFLOW";
+        }
+        if (!plan.drcClean())
+            return "density violation";
+        return "fits (" +
+               percentString(plan.stats().routingDensity) + ")";
+    };
+    for (double slack : {1.0, 1.25, 1.5, 2.0, 3.0}) {
+        const auto pb = compiler.compile(tmplFor(cols, slack), balanced,
+                                         rows, cols);
+        const auto ps = compiler.compile(tmplFor(cols, slack), skewed,
+                                         rows, cols);
+        slack_t.addRow({commaString(slack, 2), verdict(pb),
+                        verdict(ps)});
+    }
+    slack_t.print();
+    std::printf("\nThe paper sizes accumulators 'with sufficient "
+                "slackness'; trained-LLM-like histograms\nfit modest "
+                "slack; fully dense skewed histograms push the wire "
+                "count\n(no zero weights to drop) into the routing-"
+                "density margin instead.\n");
+
+    bench::banner("Track-pitch sensitivity (M8-M11 process choice)");
+    Table pitch_t({"Track pitch", "Routing density", "Sign-off"});
+    for (double pitch_um : {0.06, 0.08, 0.12, 0.16}) {
+        MetalizationParams params;
+        params.trackPitchUm = pitch_um;
+        HnCompiler swept(n5Technology(), params);
+        const auto plan = swept.compile(tmplFor(cols, 2.0), balanced,
+                                        rows, cols);
+        pitch_t.addRow({commaString(pitch_um * 1000.0) + " nm",
+                        percentString(plan.stats().routingDensity),
+                        plan.drcClean() ? "clean" : "VIOLATION"});
+    }
+    pitch_t.print();
+
+    bench::banner("Emitted metalization script (head)");
+    auto weights = syntheticFp4Weights(2 * 64, 5);
+    const auto demo = compiler.compile(tmplFor(64, 2.0), weights, 2, 64);
+    std::fputs(demo.emitScript(8).c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: pipelining and batching (paper Section 5.2).  Shows how
+ * throughput scales with the number of concurrent sequences admitted
+ * by the continuous batcher (up to the 6 x 36 + 1 pipeline slots), and
+ * the prefill/decode service behaviour of request-level serving.
+ */
+
+#include <cmath>
+
+#include "bench_util.hh"
+#include "pipeline/batcher.hh"
+#include "pipeline/pipeline_sim.hh"
+
+int
+main()
+{
+    using namespace hnlpu;
+
+    // Derive the pipeline's token interval/latency once.
+    auto cfg = defaultGptOssPipeline(2048);
+    cfg.warmupTokens = 250;
+    cfg.measuredTokens = 600;
+    const auto pipe = PipelineSim(cfg).run();
+    const Seconds interval = 1.0 / pipe.tokensPerSecond;
+    const Seconds traversal = pipe.tokenLatency;
+
+    bench::banner("Ablation: batch-size scaling via slot-limited "
+                  "serving");
+    Table scale({"Concurrent sequences", "Aggregate tokens/s",
+                 "Of peak"});
+    for (std::size_t slots : {1u, 8u, 32u, 108u, 217u}) {
+        // Each sequence decodes one token per traversal; the aggregate
+        // approaches 1/interval as slots fill the pipeline.
+        const double per_seq = 1.0 / traversal;
+        const double aggregate =
+            std::min(double(slots) * per_seq, 1.0 / interval);
+        scale.addRow({std::to_string(slots), commaString(aggregate),
+                      percentString(aggregate * interval)});
+    }
+    scale.print();
+    std::printf("\nPeak (all %zu slots): %s tokens/s; single sequence: "
+                "%s tokens/s\n",
+                pipe.pipelineSlots,
+                commaString(1.0 / interval).c_str(),
+                commaString(1.0 / traversal).c_str());
+
+    bench::banner("Ablation: serving load sweep (continuous batching)");
+    Table load({"Offered load", "Decoded tok/s", "Mean TTFT",
+                "Mean latency", "Occupancy"});
+    for (double load_factor : {0.25, 0.5, 0.75, 0.95}) {
+        // Mixed workload: 80% short chat turns, 20% long completions.
+        const double tokens_per_req = 0.8 * (256 + 128) +
+                                      0.2 * (2048 + 512);
+        const double arrival_rate =
+            load_factor / (tokens_per_req * interval);
+        std::vector<Request> reqs;
+        for (int i = 0; i < 4000; ++i) {
+            const bool longreq = (i % 5 == 0);
+            reqs.push_back({double(i) / arrival_rate,
+                            longreq ? 2048u : 256u,
+                            longreq ? 512u : 128u});
+        }
+        ContinuousBatcher batcher(217, interval, traversal);
+        batcher.serve(reqs);
+        const auto &st = batcher.stats();
+        load.addRow({percentString(load_factor),
+                     commaString(st.throughputTokensPerSecond),
+                     siString(st.meanTimeToFirstToken, "s", 3),
+                     siString(st.meanLatency, "s", 3),
+                     percentString(st.meanOccupancy)});
+    }
+    load.print();
+
+    return 0;
+}

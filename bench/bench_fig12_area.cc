@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Reproduces paper Fig. 12: post-layout area comparison of the three
+ * embedding methodologies on the 1x1024 by 1024x128 FP4 GEMV operator
+ * (Cell-Embedding vs. the MA baseline's 64 KB weight SRAM vs.
+ * Metal-Embedding).  Also microbenchmarks the functional models with
+ * google-benchmark to show the simulators themselves are usable at
+ * interactive speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "hn/ce_neuron.hh"
+#include "hn/hn_array.hh"
+#include "phys/energy_model.hh"
+
+namespace {
+
+using namespace hnlpu;
+
+void
+printFigure12()
+{
+    bench::banner("Figure 12: Embedding-methodology area comparison "
+                  "(1024 x 128 FP4 GEMV)");
+    AreaModel area(n5Technology());
+    const OperatorShape shape;
+    const double weights = shape.weightCount();
+
+    const AreaMm2 sram = area.sramWeightStore(weights);
+    const AreaMm2 ce = area.cellEmbedding(weights);
+    const AreaMm2 me = area.metalEmbedding(weights);
+
+    Table table({"Methodology", "Area (mm^2)", "Relative",
+                 "Paper (rel.)", "Deviation"});
+    table.addRow({"Cell-Embedding (CE)", commaString(ce, 4) + " mm^2",
+                  ratioString(ce / sram, 2), "14.3x",
+                  bench::deviation(ce / sram, 14.3)});
+    table.addRow({"64 KB SRAM (MA)", commaString(sram, 4) + " mm^2", "1.00x",
+                  "1x", "+0.0%"});
+    table.addRow({"Metal-Embedding (ME)", commaString(me, 4) + " mm^2",
+                  ratioString(me / sram, 2), "0.95x",
+                  bench::deviation(me / sram, 0.95)});
+    table.print();
+    std::printf("\nME density gain over CE: %s (paper: ~15x)\n",
+                ratioString(area.meDensityGain(), 1).c_str());
+}
+
+/** Functional-model microbenchmark: bit-serial HN GEMV. */
+void
+BM_HnGemvSerial(benchmark::State &state)
+{
+    const std::size_t in_dim = 1024, out_dim = 128;
+    auto weights = syntheticFp4Weights(in_dim * out_dim, 1);
+    SeaOfNeuronsTemplate tmpl;
+    tmpl.inputCount = in_dim;
+    tmpl.slackFactor = 4.0;
+    HnArray array(tmpl, weights, out_dim, in_dim);
+
+    Rng rng(2);
+    std::vector<std::int64_t> x(in_dim);
+    for (auto &v : x)
+        v = rng.uniformInt(-127, 127);
+
+    for (auto _ : state) {
+        auto out = array.gemvSerial(x, 8);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * in_dim * out_dim);
+}
+BENCHMARK(BM_HnGemvSerial);
+
+/** Functional-model microbenchmark: cell-embedded reference. */
+void
+BM_CeGemv(benchmark::State &state)
+{
+    const std::size_t in_dim = 1024, out_dim = 128;
+    auto weights = syntheticFp4Weights(in_dim * out_dim, 1);
+    std::vector<CellEmbeddedNeuron> neurons;
+    for (std::size_t r = 0; r < out_dim; ++r) {
+        neurons.emplace_back(std::vector<Fp4>(
+            weights.begin() + r * in_dim,
+            weights.begin() + (r + 1) * in_dim));
+    }
+    Rng rng(2);
+    std::vector<std::int64_t> x(in_dim);
+    for (auto &v : x)
+        v = rng.uniformInt(-127, 127);
+
+    for (auto _ : state) {
+        std::int64_t acc = 0;
+        for (const auto &n : neurons)
+            acc += n.compute(x);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * in_dim * out_dim);
+}
+BENCHMARK(BM_CeGemv);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure12();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces paper Fig. 13: execution cycles and energy of the
+ * 1x1024 by 1024x128 FP4 GEMV under the MA / CE / ME methodologies.
+ * The paper's bar chart shows MA at ~130-150 cycles with CE/ME far
+ * below, and energy on a 0.1..10 nJ log scale ordered MA > CE > ME.
+ */
+
+#include "bench_util.hh"
+#include "phys/energy_model.hh"
+
+int
+main()
+{
+    using namespace hnlpu;
+
+    bench::banner("Figure 13: Embedding-methodology time & energy "
+                  "(1024 x 128 FP4 GEMV)");
+
+    OperatorModel op(n5Technology());
+    const OperatorShape shape;
+    const auto ma = op.macArray(shape);
+    const auto ce = op.cellEmbedding(shape);
+    const auto me = op.metalEmbedding(shape);
+
+    Table cycles({"Methodology", "Cycles", "Paper (approx.)"});
+    cycles.addRow({"MAC Array (MA)", commaString(ma.cycles),
+                   "~140 (SRAM-fetch bound)"});
+    cycles.addRow({"Cell-Embedding (CE)", commaString(ce.cycles),
+                   "~10 (fully parallel)"});
+    cycles.addRow({"Metal-Embedding (ME)", commaString(me.cycles),
+                   "~25 (bit-serial)"});
+    cycles.print();
+
+    Table energy({"Methodology", "Energy", "Dominant term",
+                  "Paper (log-scale pos.)"});
+    energy.addRow({"MAC Array (MA)", siString(ma.energy, "J", 3),
+                   "SRAM weight fetch", "~10 nJ"});
+    energy.addRow({"Cell-Embedding (CE)", siString(ce.energy, "J", 3),
+                   "constant multiplies + leakage", "~1 nJ"});
+    energy.addRow({"Metal-Embedding (ME)", siString(me.energy, "J", 3),
+                   "1-bit popcount toggles", "~0.2 nJ"});
+    energy.print();
+
+    std::printf("\nOrdering checks: MA/ME energy = %s, CE/ME energy = "
+                "%s, MA/ME cycles = %s\n",
+                ratioString(ma.energy / me.energy, 1).c_str(),
+                ratioString(ce.energy / me.energy, 1).c_str(),
+                ratioString(ma.cycles / me.cycles, 1).c_str());
+
+    // Sensitivity: activation bit width drives the ME serial time.
+    bench::banner("ME sensitivity: activation width");
+    Table sweep({"Activation bits", "ME cycles", "ME energy"});
+    for (unsigned bits : {4u, 8u, 12u, 16u}) {
+        OperatorShape s = shape;
+        s.activationBits = bits;
+        const auto r = op.metalEmbedding(s);
+        sweep.addRow({std::to_string(bits), commaString(r.cycles),
+                      siString(r.energy, "J", 3)});
+    }
+    sweep.print();
+    return 0;
+}

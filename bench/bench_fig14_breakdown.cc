@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces paper Fig. 14: per-token execution-time breakdown across
+ * context lengths 2K..512K (CXL communication, projection, non-linear,
+ * attention, memory stall).  The key qualitative behaviours: comm
+ * dominates short contexts, attention rises with context length, and
+ * HBM stalls appear only once the KV cache overflows the 320 MB
+ * attention buffer (beyond 256K).
+ */
+
+#include "bench_util.hh"
+#include "pipeline/pipeline_sim.hh"
+
+int
+main()
+{
+    using namespace hnlpu;
+
+    bench::banner("Figure 14: Execution-time breakdown per token vs "
+                  "context length");
+
+    struct PaperRow { double comm, proj, attn, stall; };
+    const std::pair<std::size_t, PaperRow> points[] = {
+        {2048, {82.9, 13.8, 0.0, 0.0}},
+        {8192, {81.5, 13.6, 0.0, 0.0}},
+        {65536, {70.8, 11.8, 15.1, 0.0}},
+        {131072, {61.5, 10.2, 26.2, 0.0}},
+        {262144, {48.7, 8.1, 41.6, 0.0}},
+        {524288, {30.7, 5.1, 52.4, 10.7}},
+    };
+
+    Table table({"Context", "Tokens/s", "Comm", "Projection",
+                 "Non-linear", "Attention", "Stall", "KV overflow",
+                 "Paper comm/attn/stall"});
+    for (const auto &[ctx, paper] : points) {
+        auto cfg = defaultGptOssPipeline(ctx);
+        cfg.warmupTokens = 300;
+        cfg.measuredTokens = ctx >= 262144 ? 400 : 800;
+        const auto r = PipelineSim(cfg).run();
+        const auto &b = r.breakdown;
+        char paper_col[64];
+        std::snprintf(paper_col, sizeof(paper_col),
+                      "%.1f%% / %.1f%% / %.1f%%", paper.comm,
+                      paper.attn, paper.stall);
+        table.addRow({
+            ctx >= 1024 ? std::to_string(ctx / 1024) + "K"
+                        : std::to_string(ctx),
+            commaString(r.tokensPerSecond),
+            percentString(b.commShare()),
+            percentString(b.projectionShare()),
+            percentString(b.nonlinearShare()),
+            percentString(b.attentionShare()),
+            percentString(b.stallShare()),
+            percentString(r.kvOverflowFraction),
+            paper_col,
+        });
+    }
+    table.print();
+
+    std::printf(
+        "\nShape checks (paper):\n"
+        "  - CXL communication dominates short contexts and falls "
+        "monotonically;\n"
+        "  - attention share rises with context and dominates the long "
+        "tail;\n"
+        "  - memory stalls are zero through 256K (KV resident in the "
+        "320MB buffer\n"
+        "    thanks to gpt-oss's alternating sliding-window layers) "
+        "and appear at 512K.\n"
+        "  Our simulator charges the full spilled-KV re-read per token "
+        "against effective\n"
+        "  HBM bandwidth, so the 512K stall share exceeds the paper's "
+        "10.7%% (see EXPERIMENTS.md).\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces the paper's Section 2.2 / Section 3 headline economics:
+ * the straightforward CMAC hardwiring strawman (~176,000 mm^2, 200+
+ * chips, ~$6 B of heterogeneous photomasks) versus the Metal-Embedding
+ * Sea-of-Neurons flow (15x density, 112x mask-cost reduction, -86.5%
+ * initial tapeout, -92.3% re-spin).
+ */
+
+#include <cmath>
+
+#include "bench_util.hh"
+#include "econ/nre.hh"
+#include "litho/wafer.hh"
+#include "model/model_zoo.hh"
+#include "phys/area_model.hh"
+
+int
+main()
+{
+    using namespace hnlpu;
+
+    bench::banner("Section 2.2: the economic strawman");
+
+    const auto model = gptOss120b();
+    AreaModel area(n5Technology());
+    const double params = double(model.totalParams());
+
+    const AreaMm2 strawman_area = area.cmacStrawman(params);
+    const auto strawman_chips = static_cast<std::size_t>(
+        std::ceil(strawman_area / WaferModel::kReticleLimit));
+    MaskStack masks;
+    const Dollars strawman_masks = masks.strawmanCost(strawman_chips);
+
+    Table straw({"Quantity", "Measured", "Paper"});
+    straw.addRow({"CMAC-grid area", commaString(strawman_area) + " mm^2",
+                  "~176,000 mm^2"});
+    straw.addRow({"Chips (reticle-limited)",
+                  std::to_string(strawman_chips), "200+"});
+    straw.addRow({"Heterogeneous mask bill",
+                  dollarString(strawman_masks), "over $ 6B"});
+    straw.print();
+
+    bench::banner("Section 3: Metal-Embedding savings");
+
+    const AreaMm2 me_area = area.metalEmbedding(params);
+    HnlpuCostModel cost(n5Technology(), masks);
+    const auto bd = cost.breakdown(model);
+
+    Table save({"Quantity", "Measured", "Paper"});
+    save.addRow({"ME weight area (16 chips)",
+                 commaString(me_area) + " mm^2", "~9,170 mm^2"});
+    save.addRow({"Density gain vs CE grid",
+                 ratioString(area.meDensityGain(), 1), "15x"});
+    save.addRow({"Area saving vs CE",
+                 percentString(1.0 - 1.0 / area.meDensityGain()),
+                 "-93.4%"});
+    const double mask_reduction =
+        strawman_masks / (bd.homogeneousMask + bd.metalEmbeddingMask)
+                             .mid();
+    save.addRow({"Photomask cost reduction",
+                 ratioString(mask_reduction, 0), "112x"});
+    const double hetero16 = masks.fullSetPrice.hi * 16.0;
+    save.addRow({"Initial tapeout saving vs 16 full sets",
+                 percentString(1.0 - masks.seaOfNeuronsCost(16).hi /
+                                         hetero16),
+                 "-86.5%"});
+    save.addRow({"Re-spin saving vs 16 full sets",
+                 percentString(1.0 - masks.respinCost(16).hi / hetero16),
+                 "-92.3%"});
+    save.print();
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces paper Table 1: single-chip hardware characteristics
+ * (area and power breakdown of one HNLPU chip carrying 1/16th of
+ * gpt-oss 120 B), plus the Section 7.1 layout-characteristics checks
+ * (attention-buffer bandwidth, power density).
+ */
+
+#include "bench_util.hh"
+#include "mem/sram.hh"
+#include "model/model_zoo.hh"
+#include "phys/chip_floorplan.hh"
+
+int
+main()
+{
+    using namespace hnlpu;
+
+    bench::banner("Table 1: Single-chip hardware characteristics");
+
+    ChipFloorplan plan(makePartition(gptOss120b()), n5Technology());
+    const auto comps = plan.components();
+    const double total_area = plan.totalArea();
+    const double total_power = plan.totalPower();
+
+    // Paper reference values, same order as components().
+    const double paper_area[] = {573.16, 27.87, 0.02, 136.11, 37.92,
+                                 52.0};
+    const double paper_power[] = {76.92, 33.09, 0.004, 85.73, 49.65,
+                                  63.0};
+
+    Table table({"Component", "Area (mm^2)", "Area %", "Power (W)",
+                 "Power %", "Paper area", "Paper power"});
+    for (std::size_t i = 0; i < comps.size(); ++i) {
+        table.addRow({comps[i].name, commaString(comps[i].area, 2),
+                      percentString(comps[i].area / total_area),
+                      commaString(comps[i].power, 2),
+                      percentString(comps[i].power / total_power),
+                      commaString(paper_area[i], 2),
+                      commaString(paper_power[i], 2)});
+    }
+    table.addSeparator();
+    table.addRow({"Total", commaString(total_area, 2), "100.0%",
+                  commaString(total_power, 2), "100.0%", "827.08",
+                  "308.39"});
+    table.print();
+
+    std::printf("\nDeviation vs paper: area %s, power %s\n",
+                bench::deviation(total_area, 827.08).c_str(),
+                bench::deviation(total_power, 308.39).c_str());
+
+    bench::banner("Section 7.1: layout characteristics");
+    SramBufferParams buffer;
+    std::printf("Attention buffer: %s capacity, %s bandwidth "
+                "(paper: 320 MB, 80 TB/s), %zu-cycle access\n",
+                siString(buffer.capacityBytes(), "B", 3).c_str(),
+                siString(buffer.readBandwidth(), "B/s", 3).c_str(),
+                buffer.accessCycles);
+    std::printf("Average power density: %.2f W/mm^2 "
+                "(paper: avg 0.3, peak 1.4, within DLC limits)\n",
+                total_power / total_area);
+    std::printf("System totals: %s silicon over 16 chips, %s "
+                "(paper: 13,232 mm^2, 6.9 kW)\n",
+                commaString(plan.systemSiliconArea()).c_str(),
+                siString(plan.systemPower(), "W", 3).c_str());
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces paper Table 2: system-level performance and efficiency
+ * comparison of HNLPU against H100 and WSE-3 on gpt-oss 120 B at 2 K
+ * context.  HNLPU numbers come from the cycle-level pipeline
+ * simulation; the baselines from their measured-anchored roofline
+ * models.
+ */
+
+#include "bench_util.hh"
+#include "core/design.hh"
+#include "model/model_zoo.hh"
+
+int
+main()
+{
+    using namespace hnlpu;
+
+    bench::banner("Table 2: System-level performance and efficiency "
+                  "(gpt-oss 120B, 2K context)");
+
+    HnlpuDesign design(gptOss120b());
+    const auto hn = design.summarize();
+    const auto gpu = design.h100Baseline();
+    const auto wse = design.wseBaseline();
+
+    auto row = [](const SystemSummary &s) {
+        return std::vector<std::string>{
+            s.name,
+            commaString(s.tokensPerSecond),
+            commaString(s.siliconArea),
+            commaString(s.rackUnits, 0) + " U",
+            siString(s.systemPower, "W", 3),
+            commaString(s.tokensPerKilojoule, 1),
+            commaString(s.areaEfficiency, 3),
+        };
+    };
+
+    Table table({"System", "Tokens/s", "Silicon (mm^2)", "Footprint",
+                 "Power", "Tokens/kJ", "Tokens/(s*mm^2)"});
+    table.addRow(row(hn));
+    table.addRow(row(gpu));
+    table.addRow(row(wse));
+    table.print();
+
+    Table ratios({"Metric", "Measured", "Paper", "Deviation"});
+    const double thr_gpu = hn.tokensPerSecond / gpu.tokensPerSecond;
+    const double thr_wse = hn.tokensPerSecond / wse.tokensPerSecond;
+    const double eff_gpu =
+        hn.tokensPerKilojoule / gpu.tokensPerKilojoule;
+    const double eff_wse =
+        hn.tokensPerKilojoule / wse.tokensPerKilojoule;
+    ratios.addRow({"HNLPU throughput (tok/s)",
+                   commaString(hn.tokensPerSecond), "249,960",
+                   bench::deviation(hn.tokensPerSecond, 249960.0)});
+    ratios.addRow({"Throughput vs H100", ratioString(thr_gpu, 0),
+                   "5,555x", bench::deviation(thr_gpu, 5555.0)});
+    ratios.addRow({"Throughput vs WSE-3", ratioString(thr_wse, 0),
+                   "85x", bench::deviation(thr_wse, 85.0)});
+    ratios.addRow({"Energy eff. vs H100", ratioString(eff_gpu, 0),
+                   "1,047x", bench::deviation(eff_gpu, 1047.0)});
+    ratios.addRow({"Energy eff. vs WSE-3", ratioString(eff_wse, 0),
+                   "283x", bench::deviation(eff_wse, 283.0)});
+    ratios.addRow({"Total silicon (mm^2)",
+                   commaString(hn.siliconArea), "13,232",
+                   bench::deviation(hn.siliconArea, 13232.0)});
+    ratios.addRow({"System power (kW)",
+                   commaString(hn.systemPower / 1000.0, 2), "6.9",
+                   bench::deviation(hn.systemPower, 6900.0)});
+    ratios.print();
+    return 0;
+}

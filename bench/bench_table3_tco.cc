@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reproduces paper Table 3: three-year Total Cost of Ownership of
+ * HNLPU vs throughput-equivalent H100 clusters at low (1 node vs 2,000
+ * GPUs) and high (50 nodes vs 100,000 GPUs) volume, plus the carbon
+ * footprint comparison.
+ */
+
+#include "bench_util.hh"
+#include "econ/tco.hh"
+#include "model/model_zoo.hh"
+
+namespace {
+
+using namespace hnlpu;
+
+std::string
+range(const CostRange &r)
+{
+    return dollarString(r.lo, 4) + " ~ " + dollarString(r.hi, 4);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 3: 3-year TCO, low volume "
+                  "(1 HNLPU node vs 2,000 H100)");
+
+    TcoModel tco(HnlpuCostModel(n5Technology(), MaskStack{}));
+    const auto model = gptOss120b();
+
+    auto print_pair = [&](const TcoReport &hn, const TcoReport &gpu) {
+        Table t({"Parameter", "HNLPU", "H100"});
+        t.addRow({"Systems / GPUs", commaString(hn.systems),
+                  commaString(gpu.systems)});
+        t.addRow({"Datacenter power (MW)",
+                  commaString(hn.datacenterPowerMW, 3),
+                  commaString(gpu.datacenterPowerMW, 2)});
+        t.addRow({"Node price", range(hn.nodePrice),
+                  dollarString(gpu.nodePrice.mid())});
+        t.addRow({"DC infrastructure",
+                  dollarString(hn.infrastructure.mid()),
+                  dollarString(gpu.infrastructure.mid())});
+        t.addRow({"Total initial CapEx", range(hn.initialCapex),
+                  dollarString(gpu.initialCapex.mid())});
+        t.addRow({"Update re-spin cost", range(hn.respinCost),
+                  "$ 0"});
+        t.addRow({"Electricity (3y)",
+                  dollarString(hn.electricity.mid()),
+                  dollarString(gpu.electricity.mid())});
+        t.addRow({"Maintenance & support (3y)", range(hn.maintenance),
+                  dollarString(gpu.maintenance.mid())});
+        t.addSeparator();
+        t.addRow({"TCO static (no updates)", range(hn.tcoStatic),
+                  dollarString(gpu.tcoStatic.mid())});
+        t.addRow({"TCO dynamic (annual updates)", range(hn.tcoDynamic),
+                  dollarString(gpu.tcoDynamic.mid())});
+        t.addRow({"Emissions static (tCO2e)",
+                  commaString(hn.emissionsStatic, 1),
+                  commaString(gpu.emissionsStatic)});
+        t.addRow({"Emissions dynamic (tCO2e)",
+                  commaString(hn.emissionsDynamic, 1),
+                  commaString(gpu.emissionsDynamic)});
+        t.print();
+    };
+
+    const auto hn_low = tco.hnlpu(model, 1);
+    const auto gpu_low = tco.h100(2000.0);
+    print_pair(hn_low, gpu_low);
+
+    bench::banner("Table 3: 3-year TCO, high volume "
+                  "(50 HNLPU nodes vs 100,000 H100)");
+    const auto hn_high = tco.hnlpu(model, 50);
+    const auto gpu_high = tco.h100(100000.0);
+    print_pair(hn_high, gpu_high);
+
+    bench::banner("Headline advantages (high volume, dynamic model)");
+    Table head({"Metric", "Measured", "Paper", "Deviation"});
+    const double tco_lo = gpu_high.tcoStatic.mid() / hn_high.tcoDynamic.hi;
+    const double tco_hi = gpu_high.tcoStatic.mid() / hn_high.tcoDynamic.lo;
+    const double carbon =
+        gpu_high.emissionsStatic / hn_high.emissionsDynamic;
+    head.addRow({"TCO advantage (pessimistic)", ratioString(tco_lo),
+                 "41.7x", bench::deviation(tco_lo, 41.7)});
+    head.addRow({"TCO advantage (optimistic)", ratioString(tco_hi),
+                 "80.4x", bench::deviation(tco_hi, 80.4)});
+    head.addRow({"Carbon reduction", ratioString(carbon, 0), "357x",
+                 bench::deviation(carbon, 357.0)});
+    head.print();
+    return 0;
+}

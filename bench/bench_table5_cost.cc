@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces paper Table 5: the HNLPU cost analysis -- recurring cost
+ * per chip, non-recurring engineering (masks + design & development)
+ * and total cost scenarios (initial build / re-spin at 1 and 50 nodes).
+ */
+
+#include "bench_util.hh"
+#include "econ/nre.hh"
+#include "model/model_zoo.hh"
+
+namespace {
+
+using namespace hnlpu;
+
+std::string
+range(const CostRange &r, int digits = 4)
+{
+    return dollarString(r.lo, digits) + " ~ " + dollarString(r.hi,
+                                                             digits);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 5: HNLPU cost analysis (gpt-oss 120B)");
+
+    HnlpuCostModel cost(n5Technology(), MaskStack{});
+    const auto bd = cost.breakdown(gptOss120b());
+
+    Table recurring({"Recurring cost ($/chip)", "Measured", "Paper"});
+    recurring.addRow({"Wafer", dollarString(bd.waferPerChip, 3),
+                      "$ 629"});
+    recurring.addRow({"Package & test", range(bd.packageTestPerChip, 3),
+                      "$ 111 ~ 185"});
+    recurring.addRow({"HBM", range(bd.hbmPerChip, 4),
+                      "$ 1,920 ~ 3,840"});
+    recurring.addRow({"System integration",
+                      range(bd.systemIntegrationPerChip, 4),
+                      "$ 1,900 ~ 3,800"});
+    recurring.addRow({"Total per chip", range(bd.recurringPerChip(), 4),
+                      "-"});
+    recurring.print();
+
+    Table nre({"Non-recurring cost", "Measured", "Paper"});
+    nre.addRow({"Homogeneous masks", range(bd.homogeneousMask),
+                "$ 13.85M ~ 27.69M"});
+    nre.addRow({"Metal-Embedding masks (16 chips)",
+                range(bd.metalEmbeddingMask), "$ 18.46M ~ 36.92M"});
+    nre.addRow({"Design & development", range(bd.designDevelopment),
+                "$ 26.87M ~ 58.54M"});
+    nre.addRow({"Total NRE", range(bd.totalNre()), "-"});
+    nre.print();
+
+    Table scenarios({"Scenario", "Measured", "Paper"});
+    scenarios.addRow({"Initial build, 1 HNLPU",
+                      range(bd.initialBuild(1)),
+                      "$ 59.25M ~ 123.3M"});
+    scenarios.addRow({"Initial build, 50 HNLPU",
+                      range(bd.initialBuild(50)),
+                      "$ 62.83M ~ 129.9M"});
+    scenarios.addRow({"Re-spin, 1 HNLPU", range(bd.respin(1)),
+                      "$ 18.53M ~ 37.06M"});
+    scenarios.addRow({"Re-spin, 50 HNLPU", range(bd.respin(50)),
+                      "$ 22.11M ~ 43.68M"});
+    scenarios.print();
+
+    std::printf("\nWafer economics: %.0f gross dies, %.1f%% Murphy "
+                "yield, %.0f good dies per wafer (paper: ~27 of 62, "
+                "43%%)\n",
+                cost.wafers().economics(827.08).grossDiesPerWafer,
+                cost.wafers().economics(827.08).yield * 100.0,
+                cost.wafers().economics(827.08).goodDiesPerWafer);
+    return 0;
+}

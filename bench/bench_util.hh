@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared helpers for the reproduction drivers: banners and
+ * paper-vs-measured rows so every bench prints in a uniform format.
+ */
+
+#ifndef HNLPU_BENCH_BENCH_UTIL_HH
+#define HNLPU_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hh"
+#include "common/units.hh"
+
+namespace hnlpu::bench {
+
+/** Print a section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/** Relative deviation as a +x.x% string. */
+inline std::string
+deviation(double measured, double paper)
+{
+    if (paper == 0.0)
+        return "n/a";
+    const double dev = (measured - paper) / paper * 100.0;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", dev);
+    return buf;
+}
+
+} // namespace hnlpu::bench
+
+#endif // HNLPU_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: evaluate the paper's HNLPU design point in a few lines.
+ *
+ * Builds the gpt-oss 120 B design at 5 nm, runs the cycle-level
+ * simulation and prints the headline numbers next to the H100 / WSE-3
+ * baselines -- the shortest path from this library to the paper's
+ * Table 1/2/5 story.
+ */
+
+#include <cstdio>
+
+#include "core/design.hh"
+#include "model/model_zoo.hh"
+
+int
+main()
+{
+    using namespace hnlpu;
+
+    std::printf("HNLPU quickstart: hardwiring %s at 5 nm\n\n",
+                gptOss120b().name.c_str());
+
+    HnlpuDesign design(gptOss120b());
+    const DesignReport report = design.evaluate();
+
+    std::printf("Chip: %.2f mm^2, %.2f W (16 chips total)\n",
+                design.floorplan().totalArea(),
+                design.floorplan().totalPower());
+    for (const auto &c : report.chipComponents) {
+        std::printf("  %-20s %8.2f mm^2 %8.2f W\n", c.name.c_str(),
+                    c.area, c.power);
+    }
+
+    const auto &s = report.summary;
+    std::printf("\nSystem @ 2K context:\n");
+    std::printf("  throughput        %s tokens/s\n",
+                commaString(s.tokensPerSecond).c_str());
+    std::printf("  energy efficiency %.1f tokens/J\n",
+                s.tokensPerKilojoule / 1000.0);
+    std::printf("  token latency     %s\n",
+                siString(report.pipeline.tokenLatency, "s", 3).c_str());
+    std::printf("  pipeline slots    %zu concurrent tokens\n",
+                report.pipeline.pipelineSlots);
+
+    const auto gpu = design.h100Baseline();
+    const auto wse = design.wseBaseline();
+    std::printf("\nversus baselines:\n");
+    std::printf("  %-8s %10.0f tokens/s  (%s)\n", gpu.name.c_str(),
+                gpu.tokensPerSecond,
+                ratioString(s.tokensPerSecond / gpu.tokensPerSecond, 0)
+                    .c_str());
+    std::printf("  %-8s %10.0f tokens/s  (%s)\n", wse.name.c_str(),
+                wse.tokensPerSecond,
+                ratioString(s.tokensPerSecond / wse.tokensPerSecond, 0)
+                    .c_str());
+
+    const auto &cost = report.cost;
+    std::printf("\nEconomics (Table 5):\n");
+    std::printf("  initial build (1 node): %s ~ %s\n",
+                dollarString(cost.initialBuild(1).lo).c_str(),
+                dollarString(cost.initialBuild(1).hi).c_str());
+    std::printf("  weight-update re-spin:  %s ~ %s\n",
+                dollarString(cost.respin(1).lo).c_str(),
+                dollarString(cost.respin(1).hi).c_str());
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bit-serial arithmetic helpers.
+ *
+ * The Hardwired-Neuron streams activations LSB-first, one bit per clock
+ * (paper Fig. 3/4).  Every cycle, each weight-value region POPCNTs the
+ * incoming bit plane and a serial accumulator folds the count in with the
+ * appropriate power-of-two weight.  Two's-complement inputs are handled by
+ * giving the MSB plane a negative weight.
+ */
+
+#ifndef HNLPU_ARITH_BITSERIAL_HH
+#define HNLPU_ARITH_BITSERIAL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hnlpu {
+
+/**
+ * Decompose signed integers into bit planes for serial streaming.
+ * All values must fit in @p width bits two's complement.
+ */
+class BitSerializer
+{
+  public:
+    /**
+     * @param values the signed integers to serialise
+     * @param width word width in bits (2..63)
+     */
+    BitSerializer(std::vector<std::int64_t> values, unsigned width);
+
+    unsigned width() const { return width_; }
+    std::size_t laneCount() const { return values_.size(); }
+
+    /** Bit plane @p bit (0 == LSB) across all lanes. */
+    std::vector<bool> plane(unsigned bit) const;
+
+    /** True if @p bit is the (sign-carrying) MSB plane. */
+    bool isSignPlane(unsigned bit) const { return bit == width_ - 1; }
+
+  private:
+    std::vector<std::int64_t> values_;
+    unsigned width_;
+};
+
+/**
+ * Serial accumulator: folds per-plane popcounts into a running integer
+ * using weight 2^bit (negative for the sign plane).  Bit-exact: after all
+ * planes of all lanes are added, total() equals the plain integer sum of
+ * the serialised values.
+ */
+class SerialAccumulator
+{
+  public:
+    void reset() { total_ = 0; }
+
+    /** Add a plane's popcount with its positional weight. */
+    void addPlane(unsigned bit, bool sign_plane, std::int64_t count);
+
+    std::int64_t total() const { return total_; }
+
+  private:
+    std::int64_t total_ = 0;
+};
+
+/**
+ * Clock cycles for a bit-serial reduction: one cycle per input bit plane
+ * plus the pipeline drain of the compressor tree.
+ */
+std::size_t bitSerialCycles(unsigned width, std::size_t tree_depth);
+
+/**
+ * Number of add/subtract operations in a canonical-signed-digit (CSD)
+ * shift-add multiplier for the constant @p multiplier.  0 and powers of
+ * two cost zero adders; every further nonzero CSD digit costs one.
+ */
+std::size_t csdAdderCount(std::int64_t multiplier);
+
+/** The CSD digit string (entries in {-1,0,1}, LSB first). */
+std::vector<int> csdDigits(std::int64_t multiplier);
+
+} // namespace hnlpu
+
+#endif // HNLPU_ARITH_BITSERIAL_HH

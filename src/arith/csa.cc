@@ -1,0 +1,142 @@
+#include "arith/csa.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace hnlpu {
+
+CsaPair
+csaCompress(std::int64_t a, std::int64_t b, std::int64_t c)
+{
+    // Per-bit full adder applied across the word:
+    //   sum   = a ^ b ^ c
+    //   carry = majority(a, b, c) << 1
+    const std::int64_t sum = a ^ b ^ c;
+    const std::uint64_t ua = static_cast<std::uint64_t>(a);
+    const std::uint64_t ub = static_cast<std::uint64_t>(b);
+    const std::uint64_t uc = static_cast<std::uint64_t>(c);
+    const std::uint64_t maj = (ua & ub) | (ua & uc) | (ub & uc);
+    return {sum, static_cast<std::int64_t>(maj << 1)};
+}
+
+std::int64_t
+csaReduce(const std::vector<std::int64_t> &operands)
+{
+    if (operands.empty())
+        return 0;
+    std::vector<std::int64_t> rows = operands;
+    while (rows.size() > 2) {
+        std::vector<std::int64_t> next;
+        next.reserve(rows.size() * 2 / 3 + 2);
+        std::size_t i = 0;
+        for (; i + 3 <= rows.size(); i += 3) {
+            CsaPair pair = csaCompress(rows[i], rows[i + 1], rows[i + 2]);
+            next.push_back(pair.sum);
+            next.push_back(pair.carry);
+        }
+        for (; i < rows.size(); ++i)
+            next.push_back(rows[i]);
+        rows.swap(next);
+    }
+    std::int64_t total = 0;
+    for (std::int64_t row : rows)
+        total += row;
+    return total;
+}
+
+CsaTreeShape
+csaTreeShape(std::size_t n)
+{
+    CsaTreeShape shape;
+    shape.inputCount = n;
+    std::size_t rows = n;
+    while (rows > 2) {
+        const std::size_t groups = rows / 3;
+        shape.compressorCount += groups;
+        rows = rows - groups; // each group turns 3 rows into 2
+        ++shape.depth;
+    }
+    return shape;
+}
+
+namespace {
+
+/**
+ * Structural popcount builder: returns {full-adder count, depth} by
+ * recursively combining bit columns.  A column of k wires of weight w is
+ * reduced with full adders (3 wires -> 1 sum at w + 1 carry at 2w) and a
+ * final half-adder/pass-through; we count half adders as full adders for
+ * the area model (conservative, matches synthesis within the calibration
+ * slack).
+ */
+struct PopShape { std::size_t adders; std::size_t depth; };
+
+PopShape
+popShape(std::size_t n)
+{
+    if (n <= 1)
+        return {0, 0};
+    // Column counts per weight; start with n wires at weight 0.
+    std::vector<std::size_t> cols{n};
+    std::size_t adders = 0;
+    std::size_t depth = 0;
+    bool reduced = true;
+    while (reduced) {
+        reduced = false;
+        std::vector<std::size_t> next(cols.size() + 1, 0);
+        for (std::size_t w = 0; w < cols.size(); ++w) {
+            std::size_t k = cols[w];
+            if (k <= 1) {
+                next[w] += k;
+                continue;
+            }
+            reduced = true;
+            // Full adders: consume 3, produce 1 sum + 1 carry.
+            const std::size_t fa = k / 3;
+            adders += fa;
+            std::size_t rem = k - 3 * fa;
+            std::size_t sums = fa;
+            std::size_t carries = fa;
+            if (rem == 2) {
+                // Half adder.
+                adders += 1;
+                sums += 1;
+                carries += 1;
+                rem = 0;
+            }
+            next[w] += sums + rem;
+            next[w + 1] += carries;
+        }
+        if (reduced)
+            ++depth;
+        while (!next.empty() && next.back() == 0)
+            next.pop_back();
+        cols.swap(next);
+    }
+    return {adders, depth};
+}
+
+} // namespace
+
+std::size_t
+popcountAdderCount(std::size_t n)
+{
+    return popShape(n).adders;
+}
+
+std::size_t
+popcountDepth(std::size_t n)
+{
+    return popShape(n).depth;
+}
+
+std::size_t
+popcount(const std::vector<bool> &bits)
+{
+    return static_cast<std::size_t>(
+        std::count(bits.begin(), bits.end(), true));
+}
+
+} // namespace hnlpu

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Carry-save adder (CSA) building blocks.
+ *
+ * The Hardwired-Neuron trades time for area by unfolding accumulation into
+ * a tree of carry-save adders fed by bit-serialised inputs (paper Fig. 3,
+ * right).  This module provides:
+ *
+ *  - a bit-exact word-level CSA (3:2 compressor) and Wallace-style
+ *    reduction of N operands to a single sum, used to verify the HN
+ *    functional path;
+ *  - structural cost accounting (full-adder count, tree depth) that feeds
+ *    the area/energy model in src/phys.
+ */
+
+#ifndef HNLPU_ARITH_CSA_HH
+#define HNLPU_ARITH_CSA_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hnlpu {
+
+/** Result of one word-level 3:2 compression step. */
+struct CsaPair
+{
+    std::int64_t sum;   //!< bitwise XOR partial sum
+    std::int64_t carry; //!< carries, already shifted left by one
+};
+
+/** One word-level carry-save 3:2 compressor: a + b + c == sum + carry. */
+CsaPair csaCompress(std::int64_t a, std::int64_t b, std::int64_t c);
+
+/**
+ * Reduce @p operands to a single integer sum using Wallace-tree style
+ * rounds of 3:2 compressors followed by one carry-propagate add.
+ * Bit-exact for any signed 64-bit operands whose true sum fits in 64 bits.
+ */
+std::int64_t csaReduce(const std::vector<std::int64_t> &operands);
+
+/** Structural characteristics of an N-input CSA reduction tree. */
+struct CsaTreeShape
+{
+    std::size_t inputCount = 0;      //!< N operands
+    std::size_t compressorCount = 0; //!< number of 3:2 compressors
+    std::size_t depth = 0;           //!< compressor levels until 2 operands
+};
+
+/**
+ * Compute the shape of the Wallace reduction of @p n operands
+ * (compressors until two rows remain; the final CPA is not counted).
+ */
+CsaTreeShape csaTreeShape(std::size_t n);
+
+/**
+ * Number of 1-bit full adders in an n-input population counter
+ * (counts set bits among n wires).  Classic result: n - popcount(n)
+ * full adders for power-of-two padding-free trees; we build the counter
+ * structurally to get the exact value for any n.
+ */
+std::size_t popcountAdderCount(std::size_t n);
+
+/** Logic depth (in full-adder levels) of an n-input population counter. */
+std::size_t popcountDepth(std::size_t n);
+
+/**
+ * Count set bits among the first @p n entries of a boolean vector
+ * (functional reference for the POPCNT accumulator region).
+ */
+std::size_t popcount(const std::vector<bool> &bits);
+
+} // namespace hnlpu
+
+#endif // HNLPU_ARITH_CSA_HH

@@ -1,0 +1,98 @@
+#include "arith/fp4.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+namespace {
+
+std::array<double, kFp4Codes>
+buildValueTable()
+{
+    std::array<double, kFp4Codes> table{};
+    for (int code = 0; code < kFp4Codes; ++code) {
+        const bool sign = (code >> 3) & 1;
+        const int exponent = (code >> 1) & 3;
+        const int mantissa = code & 1;
+        double magnitude = 0.0;
+        if (exponent == 0) {
+            // Subnormal: mantissa scaled by 2^(1-bias) * 0.5 = 0.5.
+            magnitude = 0.5 * mantissa;
+        } else {
+            magnitude = (1.0 + 0.5 * mantissa) *
+                        static_cast<double>(1 << (exponent - 1));
+        }
+        table[code] = sign ? -magnitude : magnitude;
+    }
+    return table;
+}
+
+std::array<int, kFp4Codes>
+buildTwiceTable()
+{
+    std::array<int, kFp4Codes> table{};
+    const auto values = buildValueTable();
+    for (int code = 0; code < kFp4Codes; ++code)
+        table[code] = static_cast<int>(values[code] * 2.0);
+    return table;
+}
+
+} // namespace
+
+const std::array<double, kFp4Codes> &
+fp4ValueTable()
+{
+    static const std::array<double, kFp4Codes> table = buildValueTable();
+    return table;
+}
+
+const std::array<int, kFp4Codes> &
+fp4TwiceValueTable()
+{
+    static const std::array<int, kFp4Codes> table = buildTwiceTable();
+    return table;
+}
+
+Fp4
+Fp4::fromCode(std::uint8_t code)
+{
+    hnlpu_assert(code < kFp4Codes, "fp4 code out of range: ", int(code));
+    return Fp4(code);
+}
+
+Fp4
+Fp4::quantize(double value)
+{
+    const auto &values = fp4ValueTable();
+    int best = 0;
+    double best_err = -1.0;
+    for (int code = 0; code < kFp4Codes; ++code) {
+        // Skip -0 so that exact zeros quantise to +0 deterministically.
+        if (code == 8)
+            continue;
+        const double err = std::fabs(values[code] - value);
+        if (best_err < 0.0 || err < best_err - 1e-12 ||
+            (std::fabs(err - best_err) <= 1e-12 &&
+             std::fabs(values[code]) < std::fabs(values[best]))) {
+            best = code;
+            best_err = err;
+        }
+    }
+    return Fp4(static_cast<std::uint8_t>(best));
+}
+
+double
+Fp4::value() const
+{
+    return fp4ValueTable()[code_];
+}
+
+int
+Fp4::twiceValue() const
+{
+    return fp4TwiceValueTable()[code_];
+}
+
+} // namespace hnlpu

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * FP4 (E2M1) value codec.
+ *
+ * gpt-oss ships 4-bit weights; the HNLPU hardwires one of the 16 FP4 codes
+ * per weight.  E2M1 has 1 sign bit, 2 exponent bits (bias 1) and 1
+ * mantissa bit.  The representable magnitudes are
+ * {0, 0.5, 1, 1.5, 2, 3, 4, 6}; doubling every magnitude yields an
+ * integer, which is what makes the POPCNT-then-multiply decomposition of
+ * the Hardwired-Neuron exact: the HN operates on value*2 integers and the
+ * final scale of 0.5 is folded into the output dequantisation.
+ */
+
+#ifndef HNLPU_ARITH_FP4_HH
+#define HNLPU_ARITH_FP4_HH
+
+#include <array>
+#include <cstdint>
+
+namespace hnlpu {
+
+/** Number of distinct FP4 codes. */
+inline constexpr int kFp4Codes = 16;
+
+/**
+ * One FP4 (E2M1) value, stored as its 4-bit code.
+ *
+ * Code layout: bit3 = sign, bits2..1 = exponent, bit0 = mantissa.
+ */
+class Fp4
+{
+  public:
+    constexpr Fp4() = default;
+
+    /** Construct from a raw 4-bit code (asserted in fromCode). */
+    static Fp4 fromCode(std::uint8_t code);
+
+    /** Quantise a real value to the nearest FP4 (ties to even code). */
+    static Fp4 quantize(double value);
+
+    /** The raw 4-bit code. */
+    std::uint8_t code() const { return code_; }
+
+    /** The represented real value. */
+    double value() const;
+
+    /**
+     * The represented value multiplied by two, as an exact integer in
+     * {0, +-1, +-2, +-3, +-4, +-6, +-8, +-12}.  This is the constant the
+     * Hardwired-Neuron multiplier implements.
+     */
+    int twiceValue() const;
+
+    bool sign() const { return (code_ >> 3) & 1; }
+    std::uint8_t exponentField() const { return (code_ >> 1) & 3; }
+    std::uint8_t mantissaField() const { return code_ & 1; }
+
+    /** True for either of the two zero codes (+0, -0). */
+    bool isZero() const { return (code_ & 0x7) == 0; }
+
+    bool operator==(const Fp4 &other) const = default;
+
+  private:
+    explicit constexpr Fp4(std::uint8_t code) : code_(code) {}
+
+    std::uint8_t code_ = 0;
+};
+
+/** All sixteen FP4 real values indexed by code. */
+const std::array<double, kFp4Codes> &fp4ValueTable();
+
+/** All sixteen value*2 integers indexed by code. */
+const std::array<int, kFp4Codes> &fp4TwiceValueTable();
+
+/** Largest representable magnitude (6.0). */
+inline constexpr double kFp4Max = 6.0;
+
+} // namespace hnlpu
+
+#endif // HNLPU_ARITH_FP4_HH

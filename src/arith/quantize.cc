@@ -1,0 +1,52 @@
+#include "arith/quantize.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+QuantizedVector
+quantizeSymmetric(const std::vector<double> &reals, unsigned width)
+{
+    hnlpu_assert(width >= 2 && width <= 32, "bad quantise width ", width);
+    QuantizedVector q;
+    q.width = width;
+    q.values.resize(reals.size());
+
+    double abs_max = 0.0;
+    for (double r : reals)
+        abs_max = std::max(abs_max, std::fabs(r));
+
+    const double max_code =
+        static_cast<double>((std::int64_t(1) << (width - 1)) - 1);
+    q.scale = abs_max > 0.0 ? abs_max / max_code : 1.0;
+
+    for (std::size_t i = 0; i < reals.size(); ++i) {
+        double code = std::nearbyint(reals[i] / q.scale);
+        code = std::min(code, max_code);
+        code = std::max(code, -max_code - 1.0);
+        q.values[i] = static_cast<std::int64_t>(code);
+    }
+    return q;
+}
+
+std::vector<double>
+dequantize(const QuantizedVector &q)
+{
+    std::vector<double> reals(q.values.size());
+    for (std::size_t i = 0; i < q.values.size(); ++i)
+        reals[i] = static_cast<double>(q.values[i]) * q.scale;
+    return reals;
+}
+
+double
+quantizeErrorBound(double abs_max, unsigned width)
+{
+    const double max_code =
+        static_cast<double>((std::int64_t(1) << (width - 1)) - 1);
+    const double scale = abs_max > 0.0 ? abs_max / max_code : 1.0;
+    return scale * 0.5;
+}
+
+} // namespace hnlpu

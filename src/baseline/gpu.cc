@@ -1,0 +1,46 @@
+#include "baseline/gpu.hh"
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+GpuSystemModel::GpuSystemModel(GpuParams params) : params_(params) {}
+
+bool
+GpuSystemModel::fits(const TransformerConfig &model) const
+{
+    // Weights plus a working-set allowance for KV and activations.
+    return model.totalWeightBytes() * 1.15 < params_.memoryCapacity;
+}
+
+double
+GpuSystemModel::rooflineTokensPerSecond(
+    const TransformerConfig &model) const
+{
+    // Decode is memory bound at ~1 op/byte: every active parameter is
+    // fetched once per token.
+    const double active_bytes =
+        double(model.activeParams()) * model.weightBits / 8.0;
+    hnlpu_assert(active_bytes > 0, "model has no active parameters");
+    return params_.memoryBandwidth / active_bytes;
+}
+
+double
+GpuSystemModel::tokensPerSecond(const TransformerConfig &model) const
+{
+    return rooflineTokensPerSecond(model) * params_.softwareEfficiency;
+}
+
+double
+GpuSystemModel::tokensPerKilojoule(const TransformerConfig &model) const
+{
+    return tokensPerSecond(model) / params_.systemPower * 1000.0;
+}
+
+double
+GpuSystemModel::areaEfficiency(const TransformerConfig &model) const
+{
+    return tokensPerSecond(model) / params_.dieArea;
+}
+
+} // namespace hnlpu

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * H100-class GPU baseline (paper Section 6.3, Table 2).
+ *
+ * The paper measures gpt-oss 120 B on an H100 via TensorRT-LLM at a 2 K
+ * token length and reports 45 tokens/s at 1.3 kW system power.  We model
+ * the GPU analytically as a memory-bandwidth roofline over the active
+ * parameter bytes per token, derated by a software/batching efficiency
+ * anchored to the measurement; the roofline exposes how the baseline
+ * responds to model size, quantisation and bandwidth sweeps.
+ */
+
+#ifndef HNLPU_BASELINE_GPU_HH
+#define HNLPU_BASELINE_GPU_HH
+
+#include "model/transformer_config.hh"
+#include "common/units.hh"
+
+namespace hnlpu {
+
+/** H100-class accelerator parameters. */
+struct GpuParams
+{
+    std::string name = "H100";
+    BytesPerSecond memoryBandwidth = 3.35e12;
+    Bytes memoryCapacity = 80.0 * 1e9;
+    double peakTflops = 1979.0; //!< FP8 tensor, sparse-off
+    Watts systemPower = 1300.0; //!< per GPU incl. server share
+    AreaMm2 dieArea = 814.0;
+    double rackUnits = 1.0;
+    /**
+     * Measured-anchored end-to-end efficiency versus the weight-read
+     * roofline (TensorRT-LLM, interactive 2 K serving of a routed MoE:
+     * kernel launch, expert scatter/gather, sampling, scheduling).
+     */
+    double softwareEfficiency = 0.03446;
+};
+
+/** Analytical decode-throughput model for one GPU. */
+class GpuSystemModel
+{
+  public:
+    explicit GpuSystemModel(GpuParams params = GpuParams{});
+
+    /** Whether the quantised model fits on a single GPU. */
+    bool fits(const TransformerConfig &model) const;
+
+    /** Decode tokens/s for @p model (roofline x efficiency). */
+    double tokensPerSecond(const TransformerConfig &model) const;
+
+    /** Roofline bound without the software derating. */
+    double rooflineTokensPerSecond(const TransformerConfig &model) const;
+
+    /** Tokens per kilojoule. */
+    double tokensPerKilojoule(const TransformerConfig &model) const;
+
+    /** Tokens per second per mm^2 of silicon. */
+    double areaEfficiency(const TransformerConfig &model) const;
+
+    const GpuParams &params() const { return params_; }
+
+  private:
+    GpuParams params_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_BASELINE_GPU_HH

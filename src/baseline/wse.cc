@@ -1,0 +1,37 @@
+#include "baseline/wse.hh"
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+WseSystemModel::WseSystemModel(WseParams params) : params_(params) {}
+
+bool
+WseSystemModel::fitsOnWafer(const TransformerConfig &model) const
+{
+    return model.totalWeightBytes() < params_.sramCapacity;
+}
+
+double
+WseSystemModel::tokensPerSecond(const TransformerConfig &model) const
+{
+    const double active_bytes =
+        double(model.activeParams()) * model.weightBits / 8.0;
+    hnlpu_assert(active_bytes > 0, "model has no active parameters");
+    return params_.sramBandwidth / active_bytes *
+           params_.dataflowEfficiency;
+}
+
+double
+WseSystemModel::tokensPerKilojoule(const TransformerConfig &model) const
+{
+    return tokensPerSecond(model) / params_.systemPower * 1000.0;
+}
+
+double
+WseSystemModel::areaEfficiency(const TransformerConfig &model) const
+{
+    return tokensPerSecond(model) / params_.dieArea;
+}
+
+} // namespace hnlpu

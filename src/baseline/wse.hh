@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Cerebras WSE-3-class wafer-scale baseline (paper Section 6.3).
+ *
+ * The paper takes WSE-3 throughput from the public Cerebras cloud
+ * (2,940 tokens/s on gpt-oss 120 B) and system power from published
+ * reports (23 kW).  The model anchors to those figures and scales with
+ * on-wafer SRAM bandwidth for sweeps.
+ */
+
+#ifndef HNLPU_BASELINE_WSE_HH
+#define HNLPU_BASELINE_WSE_HH
+
+#include "model/transformer_config.hh"
+#include "common/units.hh"
+
+namespace hnlpu {
+
+/** WSE-3-class system parameters. */
+struct WseParams
+{
+    std::string name = "WSE-3";
+    BytesPerSecond sramBandwidth = 21e15; //!< aggregate on-wafer
+    Bytes sramCapacity = 44.0 * 1e9;
+    Watts systemPower = 23000.0;
+    AreaMm2 dieArea = 46225.0;
+    double rackUnits = 16.0;
+    /** Measured-anchored efficiency vs. the SRAM weight-read roofline
+     *  (dataflow placement, routing, MoE imbalance). */
+    double dataflowEfficiency = 3.59e-4;
+};
+
+/** Analytical decode-throughput model for one WSE system. */
+class WseSystemModel
+{
+  public:
+    explicit WseSystemModel(WseParams params = WseParams{});
+
+    /** Whether weights fit in on-wafer SRAM (gpt-oss does not; excess
+     *  streams from MemoryX, which the efficiency factor absorbs). */
+    bool fitsOnWafer(const TransformerConfig &model) const;
+
+    double tokensPerSecond(const TransformerConfig &model) const;
+    double tokensPerKilojoule(const TransformerConfig &model) const;
+    double areaEfficiency(const TransformerConfig &model) const;
+
+    const WseParams &params() const { return params_; }
+
+  private:
+    WseParams params_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_BASELINE_WSE_HH

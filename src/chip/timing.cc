@@ -1,0 +1,95 @@
+#include "chip/timing.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace hnlpu {
+
+Tick
+ChipTimingParams::cyclesToTicks(double cycles) const
+{
+    return toTicks(cycles * cyclePeriod());
+}
+
+ChipTiming::ChipTiming(SystemPartition partition, ChipTimingParams params)
+    : partition_(std::move(partition)), params_(params)
+{
+    partition_.validate();
+}
+
+Tick
+ChipTiming::hnGemvTicks(std::size_t fan_in) const
+{
+    hnlpu_assert(fan_in > 0, "empty GEMV");
+    // Each accumulator slice streams hnSerialWidth input ports per
+    // cycle; the activation bits of each port group pass serially.
+    const double groups = std::ceil(double(fan_in) /
+                                    double(params_.hnSerialWidth));
+    const double cycles = double(params_.activationBits) * groups +
+                          double(ceilLog2(fan_in)) +
+                          double(params_.hnPipelineCycles);
+    return params_.cyclesToTicks(cycles);
+}
+
+Tick
+ChipTiming::vexAttentionTicks(std::size_t context) const
+{
+    // Each chip scores its interleaved 1/gridRows share of the context
+    // for its column's KV heads: QK plus AV, gqa_group query heads.
+    const auto &m = partition_.model;
+    const double tokens =
+        std::ceil(double(context) / double(partition_.gridRows));
+    const double macs = tokens * double(partition_.kvHeadsPerColumn()) *
+                        double(m.gqaGroupSize()) * double(m.headDim) *
+                        2.0;
+    const double cycles =
+        std::ceil(macs / double(params_.vexMacsPerCycle));
+    return params_.cyclesToTicks(cycles);
+}
+
+Tick
+ChipTiming::vexNonlinearTicks() const
+{
+    // Two RMSNorms, SwiGLU on the resident active experts, residual
+    // adds, router softmax/top-k: ~4 full hidden-width passes through
+    // the SFU lanes per layer.
+    const double elems = 4.0 * double(partition_.model.hiddenSize);
+    const double cycles = elems * params_.vexCyclesPerNonlinearElem /
+                          double(params_.vexNonlinearLanes);
+    return params_.cyclesToTicks(cycles);
+}
+
+Tick
+ChipTiming::vexSoftmaxTicks(std::size_t context) const
+{
+    // Row-wise streaming softmax over the chip's context share for the
+    // local query group (SFU bound, one element per lane-cycle pair).
+    const double elems =
+        std::ceil(double(context) / double(partition_.gridRows)) *
+        double(partition_.kvHeadsPerColumn()) *
+        double(partition_.model.gqaGroupSize());
+    const double cycles = elems * params_.vexCyclesPerNonlinearElem /
+                          double(params_.vexSoftmaxLanes);
+    return params_.cyclesToTicks(cycles);
+}
+
+Tick
+ChipTiming::kvStreamTicks(Bytes bytes) const
+{
+    hnlpu_assert(bytes >= 0, "negative KV stream");
+    return toTicks(bytes / params_.kvStreamBandwidth);
+}
+
+Tick
+ChipTiming::hbmStallTicks(Tick hbm_ticks, Tick attention_ticks) const
+{
+    const double hidden =
+        params_.hbmOverlapFraction * double(attention_ticks);
+    const double stall = double(hbm_ticks) - hidden;
+    return stall > 0 ? static_cast<Tick>(stall) : 0;
+}
+
+} // namespace hnlpu

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Single-chip timing model: HN array, VEX and KV-stream durations.
+ *
+ * These per-operation latencies feed the pipeline simulator.  The HN
+ * array is fully parallel and bit-serial: a GEMV takes one cycle per
+ * activation bit plus the compressor-tree drain, independent of fan-out
+ * (every output neuron has dedicated hardware).  The VEX unit is a
+ * conventional vector engine characterised by MACs/cycle for attention
+ * and lanes x cycles-per-element for nonlinear operators.
+ */
+
+#ifndef HNLPU_CHIP_TIMING_HH
+#define HNLPU_CHIP_TIMING_HH
+
+#include "mem/hbm.hh"
+#include "model/partition.hh"
+
+namespace hnlpu {
+
+/** Calibrated single-chip timing parameters (1 GHz sign-off clock). */
+struct ChipTimingParams
+{
+    double clockHz = 1.0e9;
+    /** Activation stream width into the HN array. */
+    unsigned activationBits = 8;
+    /** Extra HN pipeline cycles (deserialiser, tree drain, retiming). */
+    std::size_t hnPipelineCycles = 12;
+    /** Input ports streamed per cycle per neuron (one accumulator
+     *  slice's worth); the bit-serial GEMV walks fan_in/width groups. */
+    std::size_t hnSerialWidth = 64;
+    /** VEX attention datapath width (32 cached KV heads/cycle class). */
+    std::size_t vexMacsPerCycle = 32768;
+    /** VEX nonlinear lanes and per-element SFU cost. */
+    std::size_t vexNonlinearLanes = 128;
+    double vexCyclesPerNonlinearElem = 4.0;
+    /** Streaming-softmax lanes (wide, fused with the attention flow). */
+    std::size_t vexSoftmaxLanes = 2048;
+    /** Effective HBM bandwidth available to KV-cache streaming. */
+    BytesPerSecond kvStreamBandwidth = 2.56e12;
+    /** Fraction of attention compute that HBM prefetch can hide. */
+    double hbmOverlapFraction = 0.9;
+
+    Seconds cyclePeriod() const { return 1.0 / clockHz; }
+    Tick cyclesToTicks(double cycles) const;
+};
+
+/** Derives stage durations for one chip of a partition. */
+class ChipTiming
+{
+  public:
+    ChipTiming(SystemPartition partition, ChipTimingParams params);
+
+    /** Bit-serial HN GEMV latency for a given fan-in. */
+    Tick hnGemvTicks(std::size_t fan_in) const;
+
+    /** VEX attention compute for this chip's context share. */
+    Tick vexAttentionTicks(std::size_t context) const;
+
+    /** VEX nonlinear work of one layer (norms, SwiGLU, router aux). */
+    Tick vexNonlinearTicks() const;
+
+    /** Softmax/auxiliary VEX work of the attention stage. */
+    Tick vexSoftmaxTicks(std::size_t context) const;
+
+    /** HBM streaming time for @p bytes of KV overflow. */
+    Tick kvStreamTicks(Bytes bytes) const;
+
+    /** Unhidden stall after overlapping HBM behind attention. */
+    Tick hbmStallTicks(Tick hbm_ticks, Tick attention_ticks) const;
+
+    const ChipTimingParams &params() const { return params_; }
+    const SystemPartition &partition() const { return partition_; }
+
+  private:
+    SystemPartition partition_;
+    ChipTimingParams params_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_CHIP_TIMING_HH

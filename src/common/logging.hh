@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Status-message and error helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  -- an internal invariant was violated; this is a library bug.
+ * fatal()  -- the simulation cannot continue because of a user error
+ *             (bad configuration, invalid arguments).
+ * warn()   -- something is suspicious but the run can continue.
+ * inform() -- plain status output.
+ */
+
+#ifndef HNLPU_COMMON_LOGGING_HH
+#define HNLPU_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace hnlpu {
+
+/** Severity classes used by the message helpers. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Emit a message at the given level.  Fatal exits with code 1; Panic
+ * aborts (core-dump friendly).  Messages go to stderr except Inform.
+ */
+[[noreturn]] void panicImpl(const std::string &msg, const char *file,
+                            int line);
+[[noreturn]] void fatalImpl(const std::string &msg, const char *file,
+                            int line);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+namespace detail {
+
+/** Build a string from a variadic pack via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace hnlpu
+
+#define hnlpu_panic(...) \
+    ::hnlpu::panicImpl(::hnlpu::detail::concat(__VA_ARGS__), __FILE__, \
+                       __LINE__)
+#define hnlpu_fatal(...) \
+    ::hnlpu::fatalImpl(::hnlpu::detail::concat(__VA_ARGS__), __FILE__, \
+                       __LINE__)
+#define hnlpu_warn(...) \
+    ::hnlpu::warnImpl(::hnlpu::detail::concat(__VA_ARGS__))
+#define hnlpu_inform(...) \
+    ::hnlpu::informImpl(::hnlpu::detail::concat(__VA_ARGS__))
+
+/** Assert an internal invariant; active in all build types. */
+#define hnlpu_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::hnlpu::panicImpl( \
+                std::string("assertion failed: " #cond " ") + \
+                    ::hnlpu::detail::concat(__VA_ARGS__), \
+                __FILE__, __LINE__); \
+        } \
+    } while (0)
+
+#endif // HNLPU_COMMON_LOGGING_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Small integer/float math helpers shared across the library.
+ */
+
+#ifndef HNLPU_COMMON_MATH_UTIL_HH
+#define HNLPU_COMMON_MATH_UTIL_HH
+
+#include <cstdint>
+#include <type_traits>
+
+namespace hnlpu {
+
+/** Ceiling division for non-negative integers. */
+template <typename T>
+constexpr T
+ceilDiv(T num, T den)
+{
+    static_assert(std::is_integral_v<T>);
+    return (num + den - 1) / den;
+}
+
+/** Round @p value up to the next multiple of @p step. */
+template <typename T>
+constexpr T
+roundUp(T value, T step)
+{
+    static_assert(std::is_integral_v<T>);
+    return ceilDiv(value, step) * step;
+}
+
+/** True iff @p x is a power of two (and non-zero). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Ceiling of log2 for x >= 1. */
+constexpr unsigned
+ceilLog2(std::uint64_t x)
+{
+    unsigned bits = 0;
+    std::uint64_t v = 1;
+    while (v < x) {
+        v <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** Floor of log2 for x >= 1. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    unsigned bits = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** Relative difference |a-b| / max(|a|,|b|, eps). */
+inline double
+relativeDiff(double a, double b, double eps = 1e-30)
+{
+    double denom = std::max(std::max(a < 0 ? -a : a, b < 0 ? -b : b), eps);
+    double diff = a - b;
+    if (diff < 0)
+        diff = -diff;
+    return diff / denom;
+}
+
+} // namespace hnlpu
+
+#endif // HNLPU_COMMON_MATH_UTIL_HH

@@ -1,0 +1,143 @@
+#include "common/rng.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    hnlpu_assert(bound > 0, "nextBelow bound must be positive");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    hnlpu_assert(lo <= hi, "uniformInt range inverted");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1ULL;
+    return lo + static_cast<std::int64_t>(span == 0 ? next()
+                                                    : nextBelow(span));
+}
+
+double
+Rng::uniform01()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform01();
+}
+
+double
+Rng::gaussian()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform01();
+    } while (u1 <= 0.0);
+    const double u2 = uniform01();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * std::numbers::pi * u2);
+    hasSpare_ = true;
+    return mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+std::size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    hnlpu_assert(!weights.empty(), "weightedIndex needs weights");
+    double total = 0.0;
+    for (double w : weights) {
+        hnlpu_assert(w >= 0.0, "negative weight");
+        total += w;
+    }
+    hnlpu_assert(total > 0.0, "weights sum to zero");
+    double r = uniform01() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r <= 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::vector<std::size_t>
+Rng::permutation(std::size_t n)
+{
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i)
+        idx[i] = i;
+    for (std::size_t i = n; i > 1; --i) {
+        std::size_t j = nextBelow(i);
+        std::swap(idx[i - 1], idx[j]);
+    }
+    return idx;
+}
+
+} // namespace hnlpu

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic random number generation used across simulators and
+ * synthetic-weight generators.
+ *
+ * All stochastic components take an explicit Rng so that runs are
+ * reproducible from a single seed.  The implementation is xoshiro256**
+ * which is fast, high quality and has a stable cross-platform stream
+ * (std::mt19937 streams are also stable, but distributions are not; we
+ * implement our own draw helpers for full determinism).
+ */
+
+#ifndef HNLPU_COMMON_RNG_HH
+#define HNLPU_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hnlpu {
+
+/** xoshiro256** deterministic generator with explicit draw helpers. */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using rejection sampling. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform01();
+
+    /** Uniform double in [lo, hi). */
+    double uniformReal(double lo, double hi);
+
+    /** Standard normal via Box-Muller (deterministic pairing). */
+    double gaussian();
+
+    /** Gaussian with mean/stddev. */
+    double gaussian(double mean, double stddev);
+
+    /** Sample an index from unnormalised non-negative weights. */
+    std::size_t weightedIndex(const std::vector<double> &weights);
+
+    /** Fisher-Yates shuffle of [0, n) index vector. */
+    std::vector<std::size_t> permutation(std::size_t n);
+
+  private:
+    std::uint64_t s_[4];
+    bool hasSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_COMMON_RNG_HH

@@ -1,0 +1,81 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    hnlpu_assert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    hnlpu_assert(cells.size() == headers_.size(),
+                 "row arity ", cells.size(), " != header arity ",
+                 headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    auto measure = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    measure(headers_);
+    for (const auto &row : rows_) {
+        if (!row.empty())
+            measure(row);
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &row,
+                         std::ostringstream &oss) {
+        oss << "|";
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            oss << " " << row[i]
+                << std::string(widths[i] - row[i].size(), ' ') << " |";
+        }
+        oss << "\n";
+    };
+    auto renderSep = [&](std::ostringstream &oss) {
+        oss << "+";
+        for (std::size_t w : widths)
+            oss << std::string(w + 2, '-') << "+";
+        oss << "\n";
+    };
+
+    std::ostringstream oss;
+    renderSep(oss);
+    renderRow(headers_, oss);
+    renderSep(oss);
+    for (const auto &row : rows_) {
+        if (row.empty())
+            renderSep(oss);
+        else
+            renderRow(row, oss);
+    }
+    renderSep(oss);
+    return oss.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace hnlpu

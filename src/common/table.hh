@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal ASCII table formatter used by the benchmark drivers so that
+ * every reproduced table/figure prints in a uniform, diff-friendly way.
+ */
+
+#ifndef HNLPU_COMMON_TABLE_HH
+#define HNLPU_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace hnlpu {
+
+/**
+ * A simple column-aligned table.  Cells are strings; callers format
+ * numbers with the helpers in units.hh.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render with column alignment. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    /** Empty vector encodes a separator. */
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_COMMON_TABLE_HH

@@ -1,0 +1,103 @@
+#include "common/units.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+Tick
+toTicks(Seconds s)
+{
+    hnlpu_assert(s >= 0.0, "negative time ", s);
+    return static_cast<Tick>(std::llround(s * kTicksPerSecond));
+}
+
+Seconds
+toSeconds(Tick t)
+{
+    return static_cast<Seconds>(t) / kTicksPerSecond;
+}
+
+std::string
+siString(double value, const std::string &unit, int digits)
+{
+    struct Prefix { double scale; const char *name; };
+    static const Prefix prefixes[] = {
+        {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+        {1.0, ""}, {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+    };
+    double mag = std::fabs(value);
+    const Prefix *chosen = &prefixes[4];
+    if (mag > 0) {
+        for (const auto &p : prefixes) {
+            if (mag >= p.scale) {
+                chosen = &p;
+                break;
+            }
+        }
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g %s%s", digits,
+                  value / chosen->scale, chosen->name, unit.c_str());
+    return buf;
+}
+
+std::string
+dollarString(Dollars value, int digits)
+{
+    std::string s = siString(value, "", digits);
+    // Dollar amounts conventionally attach the prefix to the number
+    // ("$ 59.46M"), so drop the space siString puts before the prefix.
+    std::string out;
+    for (char c : s) {
+        if (c != ' ')
+            out.push_back(c);
+    }
+    return "$ " + out;
+}
+
+std::string
+commaString(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    std::string digits(buf);
+    std::string frac;
+    auto dot = digits.find('.');
+    if (dot != std::string::npos) {
+        frac = digits.substr(dot);
+        digits = digits.substr(0, dot);
+    }
+    bool negative = !digits.empty() && digits[0] == '-';
+    std::string body = negative ? digits.substr(1) : digits;
+    std::string out;
+    int count = 0;
+    for (auto it = body.rbegin(); it != body.rend(); ++it) {
+        if (count > 0 && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    std::string result(out.rbegin(), out.rend());
+    if (negative)
+        result.insert(result.begin(), '-');
+    return result + frac;
+}
+
+std::string
+ratioString(double value, int decimals)
+{
+    return commaString(value, decimals) + "x";
+}
+
+std::string
+percentString(double fraction, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+} // namespace hnlpu

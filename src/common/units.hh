@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit aliases and pretty-printing helpers.
+ *
+ * The models in this library mix physical, monetary and information units.
+ * To keep call sites readable we use double-based aliases with the unit in
+ * the name, plus formatting helpers for engineering notation.  The unit of
+ * each alias is documented at its definition; all conversions are explicit
+ * constants defined here.
+ */
+
+#ifndef HNLPU_COMMON_UNITS_HH
+#define HNLPU_COMMON_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hnlpu {
+
+/** Silicon area in square millimetres. */
+using AreaMm2 = double;
+/** Power in watts. */
+using Watts = double;
+/** Energy in joules. */
+using Joules = double;
+/** Time in seconds. */
+using Seconds = double;
+/** Time in integral picoseconds (discrete-event simulator tick). */
+using Tick = std::uint64_t;
+/** Money in United States dollars. */
+using Dollars = double;
+/** Mass of CO2-equivalent emissions in tonnes. */
+using TonnesCO2e = double;
+/** Data size in bytes. */
+using Bytes = double;
+/** Bandwidth in bytes per second. */
+using BytesPerSecond = double;
+
+// -- scale constants ------------------------------------------------------
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kPico = 1e-12;
+
+/** Ticks are picoseconds: one simulated second. */
+inline constexpr Tick kTicksPerSecond = 1'000'000'000'000ULL;
+
+/** Convert seconds to simulator ticks (rounding to nearest). */
+Tick toTicks(Seconds s);
+/** Convert simulator ticks to seconds. */
+Seconds toSeconds(Tick t);
+
+/** KiB / MiB / GiB byte constants. */
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+// -- formatting -----------------------------------------------------------
+
+/**
+ * Format a value with an SI prefix, e.g. 249960 -> "249.96 k".
+ * @param value the quantity to format
+ * @param unit unit string appended after the prefix
+ * @param digits significant digits (default 5)
+ */
+std::string siString(double value, const std::string &unit, int digits = 5);
+
+/** Format dollars, e.g. 59.46e6 -> "$ 59.46M". */
+std::string dollarString(Dollars value, int digits = 5);
+
+/** Format with fixed decimals and thousands separators: 249960 ->
+ *  "249,960". */
+std::string commaString(double value, int decimals = 0);
+
+/** Format a ratio like "5,555x". */
+std::string ratioString(double value, int decimals = 1);
+
+/** Format a percentage like "82.9%". */
+std::string percentString(double fraction, int decimals = 1);
+
+} // namespace hnlpu
+
+#endif // HNLPU_COMMON_UNITS_HH

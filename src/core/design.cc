@@ -1,0 +1,104 @@
+#include "core/design.hh"
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+HnlpuDesign::HnlpuDesign(TransformerConfig model, TechnologyParams tech,
+                         std::size_t context)
+    : model_(std::move(model)), tech_(tech), context_(context),
+      partition_(makePartition(model_)), floorplan_(partition_, tech_)
+{
+    model_.validate();
+}
+
+PipelineConfig
+HnlpuDesign::pipelineConfig() const
+{
+    PipelineConfig cfg = defaultGptOssPipeline(context_);
+    cfg.partition = partition_;
+    return cfg;
+}
+
+HnlpuCostModel
+HnlpuDesign::costModel() const
+{
+    return HnlpuCostModel(tech_, MaskStack{});
+}
+
+TcoModel
+HnlpuDesign::tcoModel() const
+{
+    return TcoModel(costModel());
+}
+
+SystemSummary
+HnlpuDesign::summarize() const
+{
+    PipelineSim sim(pipelineConfig());
+    const PipelineResult result = sim.run();
+
+    SystemSummary s;
+    s.name = "HNLPU (" + model_.name + ")";
+    s.tokensPerSecond = result.tokensPerSecond;
+    s.siliconArea = floorplan_.systemSiliconArea();
+    s.rackUnits = 4.0;
+    s.systemPower = floorplan_.systemPower();
+    s.tokensPerKilojoule =
+        s.tokensPerSecond / s.systemPower * 1000.0;
+    s.areaEfficiency = s.tokensPerSecond / s.siliconArea;
+    return s;
+}
+
+DesignReport
+HnlpuDesign::evaluate() const
+{
+    DesignReport report;
+    PipelineSim sim(pipelineConfig());
+    report.pipeline = sim.run();
+    report.chipComponents = floorplan_.components();
+    report.cost = costModel().breakdown(model_);
+
+    SystemSummary s;
+    s.name = "HNLPU (" + model_.name + ")";
+    s.tokensPerSecond = report.pipeline.tokensPerSecond;
+    s.siliconArea = floorplan_.systemSiliconArea();
+    s.rackUnits = 4.0;
+    s.systemPower = floorplan_.systemPower();
+    s.tokensPerKilojoule = s.tokensPerSecond / s.systemPower * 1000.0;
+    s.areaEfficiency = s.tokensPerSecond / s.siliconArea;
+    report.summary = s;
+    return report;
+}
+
+SystemSummary
+HnlpuDesign::h100Baseline() const
+{
+    GpuSystemModel gpu;
+    SystemSummary s;
+    s.name = gpu.params().name;
+    s.tokensPerSecond = gpu.tokensPerSecond(model_);
+    s.siliconArea = gpu.params().dieArea;
+    s.rackUnits = gpu.params().rackUnits;
+    s.systemPower = gpu.params().systemPower;
+    s.tokensPerKilojoule = gpu.tokensPerKilojoule(model_);
+    s.areaEfficiency = gpu.areaEfficiency(model_);
+    return s;
+}
+
+SystemSummary
+HnlpuDesign::wseBaseline() const
+{
+    WseSystemModel wse;
+    SystemSummary s;
+    s.name = wse.params().name;
+    s.tokensPerSecond = wse.tokensPerSecond(model_);
+    s.siliconArea = wse.params().dieArea;
+    s.rackUnits = wse.params().rackUnits;
+    s.systemPower = wse.params().systemPower;
+    s.tokensPerKilojoule = wse.tokensPerKilojoule(model_);
+    s.areaEfficiency = wse.areaEfficiency(model_);
+    return s;
+}
+
+} // namespace hnlpu

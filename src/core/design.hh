@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The HNLPU public API: one design point, fully evaluated.
+ *
+ * HnlpuDesign ties together everything a user of this library needs to
+ * study a Hardwired-Neuron LPU for a given model: the chip partition,
+ * the physical floorplan (area/power), the cycle-level pipeline
+ * simulation (throughput, latency, breakdown), and the economics (NRE,
+ * TCO, carbon).  The benchmark drivers and examples all build on this
+ * facade; every sub-model remains directly accessible for fine-grained
+ * studies.
+ */
+
+#ifndef HNLPU_CORE_DESIGN_HH
+#define HNLPU_CORE_DESIGN_HH
+
+#include "baseline/gpu.hh"
+#include "baseline/wse.hh"
+#include "econ/tco.hh"
+#include "phys/chip_floorplan.hh"
+#include "pipeline/pipeline_sim.hh"
+
+namespace hnlpu {
+
+/** A Table 2 style system summary. */
+struct SystemSummary
+{
+    std::string name;
+    double tokensPerSecond = 0;
+    AreaMm2 siliconArea = 0;
+    double rackUnits = 0;
+    Watts systemPower = 0;
+    double tokensPerKilojoule = 0;
+    double areaEfficiency = 0; //!< tokens/(s * mm^2)
+};
+
+/** Full evaluation of one HNLPU design point. */
+struct DesignReport
+{
+    SystemSummary summary;
+    std::vector<ChipComponent> chipComponents; //!< Table 1
+    PipelineResult pipeline;                   //!< Table 2 / Fig. 14
+    HnlpuCostBreakdown cost;                   //!< Table 5
+};
+
+/** One HNLPU design point: a model hardwired at a technology node. */
+class HnlpuDesign
+{
+  public:
+    /**
+     * @param model the LLM to hardwire
+     * @param tech process technology (5 nm default)
+     * @param context decode context length for the simulation
+     */
+    HnlpuDesign(TransformerConfig model,
+                TechnologyParams tech = n5Technology(),
+                std::size_t context = 2048);
+
+    /** Run the full evaluation (simulation + models). */
+    DesignReport evaluate() const;
+
+    /** System summary only (cheaper; reuses one simulation run). */
+    SystemSummary summarize() const;
+
+    /** The H100 baseline summary for the same model. */
+    SystemSummary h100Baseline() const;
+    /** The WSE-3 baseline summary for the same model. */
+    SystemSummary wseBaseline() const;
+
+    // Access to the constituent models for fine-grained studies.
+    const SystemPartition &partition() const { return partition_; }
+    const ChipFloorplan &floorplan() const { return floorplan_; }
+    PipelineConfig pipelineConfig() const;
+    HnlpuCostModel costModel() const;
+    TcoModel tcoModel() const;
+
+  private:
+    TransformerConfig model_;
+    TechnologyParams tech_;
+    std::size_t context_;
+    SystemPartition partition_;
+    ChipFloorplan floorplan_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_CORE_DESIGN_HH

@@ -1,0 +1,34 @@
+#include "econ/carbon.hh"
+
+#include "common/logging.hh"
+#include "econ/tco.hh"
+
+namespace hnlpu {
+
+CarbonModel::CarbonModel(const TcoParams &params)
+    : embodiedKgPerUnit_(params.embodiedKgPerUnit),
+      gridKgPerKWh_(params.gridKgPerKWh)
+{
+}
+
+TonnesCO2e
+CarbonModel::embodied(double units) const
+{
+    hnlpu_assert(units >= 0, "negative unit count");
+    return units * embodiedKgPerUnit_ / 1000.0;
+}
+
+TonnesCO2e
+CarbonModel::operational(double facility_mw, double years) const
+{
+    const double kwh = facility_mw * 1000.0 * 8760.0 * years;
+    return kwh * gridKgPerKWh_ / 1000.0;
+}
+
+TonnesCO2e
+CarbonModel::total(double units, double facility_mw, double years) const
+{
+    return embodied(units) + operational(facility_mw, years);
+}
+
+} // namespace hnlpu

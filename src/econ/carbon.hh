@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Carbon-footprint model (paper Appendix B, note 8): embodied
+ * manufacturing emissions plus operational grid emissions.
+ */
+
+#ifndef HNLPU_ECON_CARBON_HH
+#define HNLPU_ECON_CARBON_HH
+
+#include "common/units.hh"
+
+namespace hnlpu {
+
+struct TcoParams;
+
+/** Computes tCO2e from unit counts and facility power. */
+class CarbonModel
+{
+  public:
+    explicit CarbonModel(const TcoParams &params);
+
+    /** Embodied emissions of @p units manufactured cards/modules. */
+    TonnesCO2e embodied(double units) const;
+
+    /** Operational emissions of @p facility_mw over @p years. */
+    TonnesCO2e operational(double facility_mw, double years) const;
+
+    /** Embodied + operational. */
+    TonnesCO2e total(double units, double facility_mw,
+                     double years) const;
+
+  private:
+    double embodiedKgPerUnit_;
+    double gridKgPerKWh_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_ECON_CARBON_HH

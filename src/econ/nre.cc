@@ -1,0 +1,116 @@
+#include "econ/nre.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+#include "phys/area_model.hh"
+
+namespace hnlpu {
+
+namespace {
+
+/** Weight capacity of one chip, calibrated so gpt-oss 120 B fills
+ *  exactly the paper's 16 chips (827 mm^2 each). */
+constexpr std::uint64_t kParamsPerChip = 7'311'744'000ULL;
+
+/** Non-HN chip area (VEX, buffer, interconnect, PHY, control). */
+constexpr AreaMm2 kChipOverheadArea = 253.92;
+
+} // namespace
+
+CostRange
+HnlpuCostBreakdown::recurringPerChip() const
+{
+    return CostRange{waferPerChip, waferPerChip} + packageTestPerChip +
+           hbmPerChip + systemIntegrationPerChip;
+}
+
+CostRange
+HnlpuCostBreakdown::recurringPerNode(std::size_t chips) const
+{
+    return recurringPerChip() * double(chips);
+}
+
+CostRange
+HnlpuCostBreakdown::totalNre() const
+{
+    return homogeneousMask + metalEmbeddingMask + designDevelopment;
+}
+
+CostRange
+HnlpuCostBreakdown::initialBuild(std::size_t nodes) const
+{
+    return totalNre() +
+           recurringPerNode(chipCount) * double(nodes);
+}
+
+CostRange
+HnlpuCostBreakdown::respin(std::size_t nodes) const
+{
+    return metalEmbeddingMask +
+           recurringPerNode(chipCount) * double(nodes);
+}
+
+HnlpuCostModel::HnlpuCostModel(TechnologyParams tech, MaskStack masks,
+                               RecurringCostParams recurring,
+                               DesignCostParams design)
+    : tech_(tech), masks_(masks), wafers_(tech), recurring_(recurring),
+      design_(design)
+{
+}
+
+std::size_t
+HnlpuCostModel::chipsForModel(const TransformerConfig &model) const
+{
+    return std::max<std::size_t>(
+        1, ceilDiv<std::uint64_t>(model.totalParams(), kParamsPerChip));
+}
+
+HnlpuCostBreakdown
+HnlpuCostModel::breakdown(const TransformerConfig &model,
+                          std::size_t chip_count, AreaMm2 die_area) const
+{
+    HnlpuCostBreakdown bd;
+    bd.chipCount = chip_count > 0 ? chip_count : chipsForModel(model);
+
+    if (die_area <= 0) {
+        AreaModel area(tech_);
+        const double params_per_chip =
+            double(model.totalParams()) / double(bd.chipCount);
+        die_area = std::min(area.metalEmbedding(params_per_chip) +
+                                kChipOverheadArea,
+                            WaferModel::kReticleLimit);
+    }
+
+    const WaferEconomics wafer = wafers_.economics(die_area);
+    bd.waferPerChip = wafer.costPerGoodDie;
+    bd.packageTestPerChip =
+        recurring_.packageTestPerWafer * (1.0 / wafer.goodDiesPerWafer);
+    bd.hbmPerChip = recurring_.hbmPerGB * recurring_.hbmGB;
+    bd.systemIntegrationPerChip = recurring_.systemIntegrationPerChip;
+
+    bd.homogeneousMask = masks_.homogeneousCost();
+    bd.metalEmbeddingMask =
+        masks_.metalEmbeddingCostPerChip() * double(bd.chipCount);
+    // Design & development effort grows sub-linearly with system size:
+    // verification/physical scale with the chip count relative to the
+    // 16-chip gpt-oss baseline (the paper's Table 4 is fit this way;
+    // see EXPERIMENTS.md for the residuals).
+    const double design_scale =
+        std::sqrt(double(bd.chipCount) / 16.0);
+    bd.designDevelopment = design_.total() * design_scale;
+    return bd;
+}
+
+Dollars
+HnlpuCostModel::strawmanMaskCost(const TransformerConfig &model) const
+{
+    AreaModel area(tech_);
+    const AreaMm2 total = area.cmacStrawman(double(model.totalParams()));
+    const auto chips = static_cast<std::size_t>(
+        std::ceil(total / WaferModel::kReticleLimit));
+    return masks_.strawmanCost(chips);
+}
+
+} // namespace hnlpu

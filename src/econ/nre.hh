@@ -1,0 +1,107 @@
+/**
+ * @file
+ * HNLPU cost model: recurring per-chip cost, non-recurring engineering
+ * and build/re-spin scenarios (paper Table 5 and Table 4).
+ */
+
+#ifndef HNLPU_ECON_NRE_HH
+#define HNLPU_ECON_NRE_HH
+
+#include "litho/mask_stack.hh"
+#include "litho/wafer.hh"
+#include "model/transformer_config.hh"
+#include "phys/chip_floorplan.hh"
+
+namespace hnlpu {
+
+/** Per-chip recurring manufacturing cost inputs (Appendix B note 3). */
+struct RecurringCostParams
+{
+    /** Packaging and test per wafer (2.5D integration). */
+    CostRange packageTestPerWafer{3000.0, 5000.0};
+    /** HBM price per GB. */
+    CostRange hbmPerGB{10.0, 20.0};
+    /** HBM capacity per module (8 stacks x 24 GB). */
+    double hbmGB = 192.0;
+    /** Chassis, board, cooling, power, CXL per chip. */
+    CostRange systemIntegrationPerChip{1900.0, 3800.0};
+};
+
+/** Design & development NRE inputs (Appendix B, Table 5). */
+struct DesignCostParams
+{
+    CostRange architecture{1.87e6, 3.74e6};
+    CostRange verification{9.97e6, 19.93e6};
+    CostRange physical{4.80e6, 14.41e6};
+    CostRange ip{10.23e6, 20.46e6};
+
+    CostRange total() const
+    {
+        return architecture + verification + physical + ip;
+    }
+};
+
+/** The assembled Table 5 for one design point. */
+struct HnlpuCostBreakdown
+{
+    // Recurring ($/chip).
+    Dollars waferPerChip = 0;
+    CostRange packageTestPerChip;
+    CostRange hbmPerChip;
+    CostRange systemIntegrationPerChip;
+    CostRange recurringPerChip() const;
+    CostRange recurringPerNode(std::size_t chips) const;
+
+    // Non-recurring.
+    CostRange homogeneousMask;
+    CostRange metalEmbeddingMask; //!< all chip variants
+    CostRange designDevelopment;
+    CostRange totalNre() const;
+
+    std::size_t chipCount = 0;
+
+    /** Initial build: full NRE + recurring for @p nodes systems. */
+    CostRange initialBuild(std::size_t nodes) const;
+    /** Weight-update re-spin: ME masks + recurring for @p nodes. */
+    CostRange respin(std::size_t nodes) const;
+};
+
+/** Computes Table 5 / Table 4 style breakdowns. */
+class HnlpuCostModel
+{
+  public:
+    HnlpuCostModel(TechnologyParams tech, MaskStack masks,
+                   RecurringCostParams recurring = RecurringCostParams{},
+                   DesignCostParams design = DesignCostParams{});
+
+    /**
+     * Cost breakdown for hardwiring @p model.
+     * @param chip_count chips in the system (0 = derive from the
+     *        gpt-oss-calibrated per-chip weight capacity)
+     * @param die_area per-chip die area for wafer economics (0 = use
+     *        the gpt-oss chip's 827 mm^2)
+     */
+    HnlpuCostBreakdown breakdown(const TransformerConfig &model,
+                                 std::size_t chip_count = 0,
+                                 AreaMm2 die_area = 0) const;
+
+    /** Chips needed to hardwire @p model (Table 4 scaling). */
+    std::size_t chipsForModel(const TransformerConfig &model) const;
+
+    /** The Section 2.2 strawman mask bill for @p model. */
+    Dollars strawmanMaskCost(const TransformerConfig &model) const;
+
+    const MaskStack &masks() const { return masks_; }
+    const WaferModel &wafers() const { return wafers_; }
+
+  private:
+    TechnologyParams tech_;
+    MaskStack masks_;
+    WaferModel wafers_;
+    RecurringCostParams recurring_;
+    DesignCostParams design_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_ECON_NRE_HH

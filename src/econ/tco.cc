@@ -1,0 +1,102 @@
+#include "econ/tco.hh"
+
+#include "common/logging.hh"
+#include "econ/carbon.hh"
+
+namespace hnlpu {
+
+namespace {
+
+constexpr double kHoursPerYear = 8760.0;
+
+} // namespace
+
+TcoModel::TcoModel(HnlpuCostModel cost_model, TcoParams params)
+    : costModel_(std::move(cost_model)), params_(params)
+{
+}
+
+TcoReport
+TcoModel::hnlpu(const TransformerConfig &model, std::size_t nodes) const
+{
+    const auto bd = costModel_.breakdown(model);
+    TcoReport r;
+    r.systems = double(nodes);
+
+    const double it_power_mw =
+        params_.hnlpuNodePower * double(nodes) / 1e6;
+    r.datacenterPowerMW = it_power_mw * params_.facilityPue;
+
+    r.nodePrice = bd.initialBuild(nodes);
+    const Dollars network = params_.hnlpuNetworkPerChip *
+                            double(bd.chipCount) * double(nodes);
+    const Dollars facility = params_.facilityPerMW * r.datacenterPowerMW;
+    r.infrastructure = CostRange{network + facility, network + facility};
+    r.initialCapex = r.nodePrice + r.infrastructure;
+    r.respinCost = bd.respin(nodes);
+
+    const double energy_kwh = r.datacenterPowerMW * 1000.0 *
+                              kHoursPerYear * params_.lifetimeYears;
+    const Dollars elec = energy_kwh * params_.electricityPerKWh;
+    r.electricity = CostRange{elec, elec};
+
+    const std::size_t spares = nodes <= 1
+                                   ? params_.hnlpuSparesLowVolume
+                                   : params_.hnlpuSparesHighVolume;
+    r.maintenance = bd.recurringPerNode(bd.chipCount) * double(spares);
+
+    r.tcoStatic = r.initialCapex + r.electricity + r.maintenance;
+    // Annual updates over a 3-year lifetime: two re-spins.
+    r.tcoDynamic = r.tcoStatic + r.respinCost * 2.0;
+
+    CarbonModel carbon(params_);
+    const double modules = double(bd.chipCount) * double(nodes);
+    r.emissionsStatic =
+        carbon.total(modules, r.datacenterPowerMW,
+                     params_.lifetimeYears);
+    r.emissionsDynamic =
+        r.emissionsStatic + carbon.embodied(2.0 * modules);
+    return r;
+}
+
+TcoReport
+TcoModel::h100(double gpus) const
+{
+    hnlpu_assert(gpus > 0, "empty cluster");
+    TcoReport r;
+    r.systems = gpus;
+    const double nodes = gpus / double(params_.gpusPerNode);
+
+    const double it_power_mw = params_.h100PowerPerGpu * gpus / 1e6;
+    r.datacenterPowerMW = it_power_mw * params_.facilityPue;
+
+    const Dollars hw = params_.h100NodePrice * nodes;
+    r.nodePrice = CostRange{hw, hw};
+    const Dollars network = params_.h100NetworkPerNode * nodes;
+    const Dollars facility = params_.facilityPerMW * r.datacenterPowerMW;
+    r.infrastructure = CostRange{network + facility, network + facility};
+    r.initialCapex = r.nodePrice + r.infrastructure;
+    r.respinCost = CostRange{0.0, 0.0}; // model swaps are free on GPUs
+
+    const double energy_kwh = r.datacenterPowerMW * 1000.0 *
+                              kHoursPerYear * params_.lifetimeYears;
+    const Dollars elec = energy_kwh * params_.electricityPerKWh;
+    r.electricity = CostRange{elec, elec};
+
+    const Dollars maint =
+        params_.h100MaintenanceFraction * (hw + network) *
+            params_.lifetimeYears +
+        params_.h100LicensePerGpuYear * gpus * params_.lifetimeYears;
+    r.maintenance = CostRange{maint, maint};
+
+    r.tcoStatic = r.initialCapex + r.electricity + r.maintenance;
+    r.tcoDynamic = r.tcoStatic;
+
+    CarbonModel carbon(params_);
+    r.emissionsStatic = carbon.total(gpus, r.datacenterPowerMW,
+                                     params_.lifetimeYears);
+    r.emissionsDynamic = r.emissionsStatic;
+    return r;
+}
+
+} // namespace hnlpu

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Three-year Total Cost of Ownership model (paper Table 3 / App. B).
+ *
+ * Compares an HNLPU deployment against a throughput-equivalent H100
+ * cluster: CapEx (nodes, networking, facility construction), OpEx
+ * (electricity, maintenance & support) and re-spin costs under a static
+ * (no updates) or dynamic (annual weight updates) model.
+ */
+
+#ifndef HNLPU_ECON_TCO_HH
+#define HNLPU_ECON_TCO_HH
+
+#include "econ/nre.hh"
+
+namespace hnlpu {
+
+/** Deployment-level economic constants (Appendix B notes 1-7). */
+struct TcoParams
+{
+    double lifetimeYears = 3.0;
+    double facilityPue = 1.4;
+
+    // H100 cluster.
+    Dollars h100NodePrice = 320e3;       //!< HGX node, 8 GPUs, 3y warranty
+    std::size_t gpusPerNode = 8;
+    Watts h100PowerPerGpu = 1300.0;      //!< IT power incl. server share
+    Dollars h100NetworkPerNode = 45e3;   //!< NICs, switches, optics
+    double h100MaintenanceFraction = 0.05; //!< of HW CapEx per year
+    Dollars h100LicensePerGpuYear = 5592.0; //!< NVIDIA AI Enterprise
+
+    // HNLPU node.
+    Watts hnlpuNodePower = 6908.0;       //!< 16 chips + module overhead
+    Dollars hnlpuNetworkPerChip = 5630.0;
+    std::size_t hnlpuSparesLowVolume = 1;
+    std::size_t hnlpuSparesHighVolume = 5;
+
+    // Shared.
+    Dollars facilityPerMW = 12e6;        //!< construction per MW IT load
+    Dollars electricityPerKWh = 0.095;
+    /** Throughput equivalence: H100 GPUs per HNLPU node. */
+    double h100PerHnlpuNode = 2000.0;
+
+    // Carbon (Appendix B note 8).
+    double embodiedKgPerUnit = 124.9;    //!< per H100 card / HNLPU module
+    double gridKgPerKWh = 0.38;
+};
+
+/** One column of Table 3. */
+struct TcoReport
+{
+    double systems = 0;          //!< HNLPU nodes or H100 GPUs
+    double datacenterPowerMW = 0;
+
+    CostRange nodePrice;         //!< hardware (for HNLPU: NRE+recurring)
+    CostRange infrastructure;    //!< network + facility construction
+    CostRange initialCapex;
+    CostRange respinCost;        //!< per weight-update re-spin
+
+    CostRange electricity;       //!< 3-year
+    CostRange maintenance;       //!< 3-year
+
+    CostRange tcoStatic;         //!< no weight updates
+    CostRange tcoDynamic;        //!< annual updates (2 re-spins)
+
+    TonnesCO2e emissionsStatic = 0;
+    TonnesCO2e emissionsDynamic = 0;
+};
+
+/** Builds Table 3 columns. */
+class TcoModel
+{
+  public:
+    TcoModel(HnlpuCostModel cost_model, TcoParams params = TcoParams{});
+
+    /** HNLPU deployment of @p nodes systems serving @p model. */
+    TcoReport hnlpu(const TransformerConfig &model,
+                    std::size_t nodes) const;
+
+    /** Throughput-equivalent H100 cluster of @p gpus cards. */
+    TcoReport h100(double gpus) const;
+
+    const TcoParams &params() const { return params_; }
+
+  private:
+    HnlpuCostModel costModel_;
+    TcoParams params_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_ECON_TCO_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Gate-level synthesis of the bit-serial Hardwired-Neuron datapath.
+ *
+ * Builds the actual circuit of paper Fig. 4 (2) as a netlist:
+ * activation bits stream in serially, each FP4-value region POPCNTs
+ * its wired inputs with a carry-save column tree, a serial Horner
+ * accumulator per region folds the planes in (subtracting on the sign
+ * plane), sixteen CSD shift-add constant multipliers scale the region
+ * totals and a ripple-adder tree produces the dot product.  Clocking
+ * this netlist for `width` cycles must reproduce
+ * HardwiredNeuron::computeReference() bit-exactly -- the RTL-level
+ * verification the paper's methodology performs with Verilog.
+ */
+
+#ifndef HNLPU_GATES_HN_DATAPATH_HH
+#define HNLPU_GATES_HN_DATAPATH_HH
+
+#include <memory>
+
+#include "gates/netlist.hh"
+#include "hn/wire_topology.hh"
+
+namespace hnlpu {
+
+/** A synthesised, simulatable Hardwired-Neuron circuit. */
+class HnDatapath
+{
+  public:
+    /**
+     * Synthesise the neuron for @p topology with @p width-bit
+     * activations (streamed MSB first, Horner accumulation).
+     */
+    HnDatapath(const WireTopology &topology, unsigned width);
+
+    /**
+     * Stream @p activations through the circuit (reset, `width`
+     * clocks) and return the dot product sum_i (2*w_i) * x_i.
+     */
+    std::int64_t evaluate(const std::vector<std::int64_t> &activations);
+
+    /** Clock cycles per evaluation. */
+    unsigned cyclesPerGemv() const { return width_; }
+
+    /** Structural statistics of the synthesised circuit. */
+    NetlistStats stats() const { return netlist_.stats(); }
+
+    const Netlist &netlist() const { return netlist_; }
+
+  private:
+    unsigned width_;
+    std::size_t inputCount_;
+    Netlist netlist_;
+    std::vector<NetId> xInputs_;
+    NetId firstCycle_ = 0;
+    std::vector<NetId> resultBus_;
+    std::unique_ptr<GateSim> sim_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_GATES_HN_DATAPATH_HH

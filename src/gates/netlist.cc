@@ -1,0 +1,306 @@
+#include "gates/netlist.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+Netlist::Netlist()
+{
+    gates_.push_back(Gate{GateOp::Const0, 0, 0, 0, ""});
+    gates_.push_back(Gate{GateOp::Const1, 0, 0, 0, ""});
+}
+
+NetId
+Netlist::addInput(const std::string &name)
+{
+    gates_.push_back(Gate{GateOp::Input, 0, 0, 0, name});
+    return NetId(gates_.size() - 1);
+}
+
+NetId
+Netlist::addNot(NetId a)
+{
+    hnlpu_assert(a < gates_.size(), "bad net");
+    gates_.push_back(Gate{GateOp::Not, a, 0, 0, ""});
+    return NetId(gates_.size() - 1);
+}
+
+NetId
+Netlist::addAnd(NetId a, NetId b)
+{
+    hnlpu_assert(a < gates_.size() && b < gates_.size(), "bad net");
+    gates_.push_back(Gate{GateOp::And, a, b, 0, ""});
+    return NetId(gates_.size() - 1);
+}
+
+NetId
+Netlist::addOr(NetId a, NetId b)
+{
+    hnlpu_assert(a < gates_.size() && b < gates_.size(), "bad net");
+    gates_.push_back(Gate{GateOp::Or, a, b, 0, ""});
+    return NetId(gates_.size() - 1);
+}
+
+NetId
+Netlist::addXor(NetId a, NetId b)
+{
+    hnlpu_assert(a < gates_.size() && b < gates_.size(), "bad net");
+    gates_.push_back(Gate{GateOp::Xor, a, b, 0, ""});
+    return NetId(gates_.size() - 1);
+}
+
+NetId
+Netlist::addMaj3(NetId a, NetId b, NetId c)
+{
+    hnlpu_assert(a < gates_.size() && b < gates_.size() &&
+                     c < gates_.size(),
+                 "bad net");
+    gates_.push_back(Gate{GateOp::Maj3, a, b, c, ""});
+    return NetId(gates_.size() - 1);
+}
+
+NetId
+Netlist::addDff(NetId d)
+{
+    hnlpu_assert(d < gates_.size(), "bad net");
+    gates_.push_back(Gate{GateOp::Dff, d, 0, 0, ""});
+    return NetId(gates_.size() - 1);
+}
+
+void
+Netlist::setDffInput(NetId q, NetId d)
+{
+    hnlpu_assert(q < gates_.size() && gates_[q].op == GateOp::Dff,
+                 "not a DFF");
+    hnlpu_assert(d < gates_.size(), "bad net");
+    gates_[q].a = d;
+}
+
+NetlistStats
+Netlist::stats() const
+{
+    NetlistStats stats;
+    std::vector<std::size_t> depth(gates_.size(), 0);
+    for (std::size_t i = 0; i < gates_.size(); ++i) {
+        const Gate &g = gates_[i];
+        switch (g.op) {
+          case GateOp::Const0:
+          case GateOp::Const1:
+            break;
+          case GateOp::Input:
+            ++stats.inputs;
+            break;
+          case GateOp::Dff:
+            ++stats.dffs;
+            stats.transistorEstimate += 24;
+            break;
+          case GateOp::Not:
+            ++stats.combGates;
+            stats.transistorEstimate += 2;
+            depth[i] = depth[g.a] + 1;
+            break;
+          case GateOp::And:
+          case GateOp::Or:
+            ++stats.combGates;
+            stats.transistorEstimate += 6;
+            depth[i] = std::max(depth[g.a], depth[g.b]) + 1;
+            break;
+          case GateOp::Xor:
+            ++stats.combGates;
+            stats.transistorEstimate += 8;
+            depth[i] = std::max(depth[g.a], depth[g.b]) + 1;
+            break;
+          case GateOp::Maj3:
+            ++stats.combGates;
+            stats.transistorEstimate += 10;
+            depth[i] = std::max({depth[g.a], depth[g.b], depth[g.c]}) +
+                       1;
+            break;
+        }
+        stats.logicDepth = std::max(stats.logicDepth, depth[i]);
+    }
+    return stats;
+}
+
+std::vector<NetId>
+Netlist::addRippleAdder(const std::vector<NetId> &a,
+                        const std::vector<NetId> &b, NetId cin,
+                        NetId *cout)
+{
+    hnlpu_assert(a.size() == b.size() && !a.empty(),
+                 "adder width mismatch");
+    std::vector<NetId> sum(a.size());
+    NetId carry = cin;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const NetId axb = addXor(a[i], b[i]);
+        sum[i] = addXor(axb, carry);
+        carry = addMaj3(a[i], b[i], carry);
+    }
+    if (cout)
+        *cout = carry;
+    return sum;
+}
+
+std::vector<NetId>
+Netlist::addXorAll(const std::vector<NetId> &a, NetId flip)
+{
+    std::vector<NetId> out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = addXor(a[i], flip);
+    return out;
+}
+
+std::vector<NetId>
+Netlist::resizeBus(const std::vector<NetId> &a, std::size_t width) const
+{
+    hnlpu_assert(!a.empty(), "empty bus");
+    std::vector<NetId> out = a;
+    if (out.size() > width) {
+        out.resize(width);
+    } else {
+        while (out.size() < width)
+            out.push_back(a.back()); // sign extension
+    }
+    return out;
+}
+
+std::vector<NetId>
+Netlist::addPopcount(const std::vector<NetId> &bits)
+{
+    if (bits.empty())
+        return {zero()};
+    // Column compression: columns[w] holds wires of weight 2^w.
+    std::vector<std::vector<NetId>> columns{bits};
+    bool reduced = true;
+    while (reduced) {
+        reduced = false;
+        std::vector<std::vector<NetId>> next(columns.size() + 1);
+        for (std::size_t w = 0; w < columns.size(); ++w) {
+            auto &col = columns[w];
+            std::size_t i = 0;
+            for (; i + 3 <= col.size(); i += 3) {
+                next[w].push_back(addXor(addXor(col[i], col[i + 1]),
+                                         col[i + 2]));
+                next[w + 1].push_back(
+                    addMaj3(col[i], col[i + 1], col[i + 2]));
+                reduced = true;
+            }
+            if (col.size() - i == 2) {
+                next[w].push_back(addXor(col[i], col[i + 1]));
+                next[w + 1].push_back(addAnd(col[i], col[i + 1]));
+                reduced = true;
+                i += 2;
+            }
+            for (; i < col.size(); ++i)
+                next[w].push_back(col[i]);
+        }
+        while (!next.empty() && next.back().empty())
+            next.pop_back();
+        columns.swap(next);
+    }
+    std::vector<NetId> out;
+    for (const auto &col : columns) {
+        hnlpu_assert(col.size() <= 1, "popcount not fully reduced");
+        out.push_back(col.empty() ? zero() : col.front());
+    }
+    return out;
+}
+
+GateSim::GateSim(const Netlist &netlist)
+    : netlist_(netlist), value_(netlist.gates_.size(), 0),
+      state_(netlist.gates_.size(), 0)
+{
+    // Combinational nets are created in topological order by
+    // construction (every gate references earlier nets), so the
+    // evaluation order is simply ascending id.  DFF feedback is legal
+    // because DFFs read `state_`, not `value_`, breaking cycles.
+    topo_.reserve(netlist_.gates_.size());
+    for (NetId i = 0; i < netlist_.gates_.size(); ++i)
+        topo_.push_back(i);
+    settle();
+}
+
+void
+GateSim::setInput(NetId input, bool v)
+{
+    hnlpu_assert(netlist_.gates_[input].op == GateOp::Input,
+                 "not an input net");
+    value_[input] = v;
+}
+
+void
+GateSim::settle()
+{
+    for (NetId i : topo_) {
+        const Netlist::Gate &g = netlist_.gates_[i];
+        switch (g.op) {
+          case GateOp::Const0: value_[i] = 0; break;
+          case GateOp::Const1: value_[i] = 1; break;
+          case GateOp::Input: break; // externally driven
+          case GateOp::Not: value_[i] = !value_[g.a]; break;
+          case GateOp::And:
+            value_[i] = value_[g.a] && value_[g.b];
+            break;
+          case GateOp::Or:
+            value_[i] = value_[g.a] || value_[g.b];
+            break;
+          case GateOp::Xor:
+            value_[i] = value_[g.a] != value_[g.b];
+            break;
+          case GateOp::Maj3:
+            value_[i] = (int(value_[g.a]) + int(value_[g.b]) +
+                         int(value_[g.c])) >= 2;
+            break;
+          case GateOp::Dff: value_[i] = state_[i]; break;
+        }
+    }
+}
+
+void
+GateSim::step()
+{
+    settle();
+    // Latch: every DFF captures its D input as computed this cycle.
+    for (NetId i = 0; i < netlist_.gates_.size(); ++i) {
+        const Netlist::Gate &g = netlist_.gates_[i];
+        if (g.op == GateOp::Dff)
+            state_[i] = value_[g.a];
+    }
+    settle();
+}
+
+bool
+GateSim::read(NetId net) const
+{
+    hnlpu_assert(net < value_.size(), "bad net");
+    return value_[net];
+}
+
+std::int64_t
+GateSim::readBus(const std::vector<NetId> &bus) const
+{
+    hnlpu_assert(!bus.empty() && bus.size() <= 63, "bad bus width");
+    std::uint64_t raw = 0;
+    for (std::size_t i = 0; i < bus.size(); ++i) {
+        if (read(bus[i]))
+            raw |= std::uint64_t(1) << i;
+    }
+    // Sign extend from the top bus bit.
+    if (read(bus.back())) {
+        for (std::size_t i = bus.size(); i < 64; ++i)
+            raw |= std::uint64_t(1) << i;
+    }
+    return static_cast<std::int64_t>(raw);
+}
+
+void
+GateSim::reset()
+{
+    std::fill(value_.begin(), value_.end(), 0);
+    std::fill(state_.begin(), state_.end(), 0);
+    settle();
+}
+
+} // namespace hnlpu

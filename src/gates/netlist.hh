@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Gate-level netlist representation and cycle-accurate simulator.
+ *
+ * The paper implements the HNLPU core in Verilog RTL and verifies it
+ * "using extensive test cases" (Section 6.1).  This module is the
+ * equivalent layer for our reproduction: a minimal structural netlist
+ * (2-input gates, 3-input majority for full adders, D flip-flops) with
+ * a two-phase cycle-accurate evaluator.  src/gates/hn_datapath.cc
+ * synthesises the bit-serial Hardwired-Neuron datapath into such a
+ * netlist, which the tests clock against the functional model.
+ *
+ * The netlist also yields independent structural statistics (gate and
+ * register counts, logic depth) that cross-check the calibrated area
+ * constants in src/phys.
+ */
+
+#ifndef HNLPU_GATES_NETLIST_HH
+#define HNLPU_GATES_NETLIST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hnlpu {
+
+/** Identifies a net (the output of a gate, input or register). */
+using NetId = std::uint32_t;
+
+/** Primitive cell types. */
+enum class GateOp : std::uint8_t
+{
+    Const0,
+    Const1,
+    Input, //!< externally driven
+    Not,
+    And,
+    Or,
+    Xor,
+    Maj3, //!< majority-of-three (full-adder carry)
+    Dff,  //!< D flip-flop, clocked by step()
+};
+
+/** Structural statistics of a netlist. */
+struct NetlistStats
+{
+    std::size_t combGates = 0; //!< Not/And/Or/Xor/Maj3
+    std::size_t dffs = 0;
+    std::size_t inputs = 0;
+    std::size_t logicDepth = 0; //!< longest combinational path
+    /** Rough transistor estimate (CMOS static cells). */
+    std::size_t transistorEstimate = 0;
+};
+
+/** A flat gate-level netlist. */
+class Netlist
+{
+  public:
+    Netlist();
+
+    /** The constant-0 / constant-1 nets. */
+    NetId zero() const { return 0; }
+    NetId one() const { return 1; }
+
+    NetId addInput(const std::string &name);
+    NetId addNot(NetId a);
+    NetId addAnd(NetId a, NetId b);
+    NetId addOr(NetId a, NetId b);
+    NetId addXor(NetId a, NetId b);
+    NetId addMaj3(NetId a, NetId b, NetId c);
+    /** D flip-flop initialised to 0; returns its Q net. */
+    NetId addDff(NetId d);
+    /** Re-point an existing DFF's D input (for feedback loops). */
+    void setDffInput(NetId q, NetId d);
+
+    std::size_t netCount() const { return gates_.size(); }
+    NetlistStats stats() const;
+
+    // -- word-level convenience builders (ripple-carry structures) -----
+
+    /** a + b + cin as (sum bits, carry-out); widths must match. */
+    std::vector<NetId> addRippleAdder(const std::vector<NetId> &a,
+                                      const std::vector<NetId> &b,
+                                      NetId cin, NetId *cout = nullptr);
+
+    /** Conditionally invert every bit of @p a when @p flip is high. */
+    std::vector<NetId> addXorAll(const std::vector<NetId> &a,
+                                 NetId flip);
+
+    /** Sign-extend-or-truncate a bus to @p width bits (two's
+     *  complement: replicate the MSB). */
+    std::vector<NetId> resizeBus(const std::vector<NetId> &a,
+                                 std::size_t width) const;
+
+    /** Combinational population count of @p bits (CSA column tree). */
+    std::vector<NetId> addPopcount(const std::vector<NetId> &bits);
+
+  private:
+    friend class GateSim;
+
+    struct Gate
+    {
+        GateOp op;
+        NetId a = 0, b = 0, c = 0;
+        std::string name; //!< inputs only
+    };
+    std::vector<Gate> gates_;
+};
+
+/** Two-phase cycle-accurate evaluator. */
+class GateSim
+{
+  public:
+    explicit GateSim(const Netlist &netlist);
+
+    /** Drive an input net. */
+    void setInput(NetId input, bool value);
+
+    /** Settle combinational logic (no clock edge). */
+    void settle();
+
+    /** Clock edge: settle, then latch every DFF. */
+    void step();
+
+    /** Current value of any net (after settle/step). */
+    bool read(NetId net) const;
+
+    /** Read a bus as a signed two's-complement integer. */
+    std::int64_t readBus(const std::vector<NetId> &bus) const;
+
+    /** Reset all state and inputs to 0. */
+    void reset();
+
+  private:
+    const Netlist &netlist_;
+    std::vector<char> value_;
+    std::vector<char> state_;    //!< DFF outputs
+    std::vector<NetId> topo_;    //!< combinational evaluation order
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_GATES_NETLIST_HH

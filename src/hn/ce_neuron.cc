@@ -1,0 +1,45 @@
+#include "hn/ce_neuron.hh"
+
+#include "arith/csa.hh"
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace hnlpu {
+
+CellEmbeddedNeuron::CellEmbeddedNeuron(std::vector<Fp4> weights)
+    : weights_(std::move(weights))
+{
+    hnlpu_assert(!weights_.empty(), "CE neuron needs weights");
+}
+
+std::int64_t
+CellEmbeddedNeuron::compute(const std::vector<std::int64_t> &activations,
+                            CeActivity *activity) const
+{
+    hnlpu_assert(activations.size() == weights_.size(),
+                 "activation count mismatch");
+    std::vector<std::int64_t> products;
+    products.reserve(weights_.size());
+    std::size_t multiplies = 0;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+        if (weights_[i].isZero())
+            continue;
+        products.push_back(
+            static_cast<std::int64_t>(weights_[i].twiceValue()) *
+            activations[i]);
+        ++multiplies;
+    }
+    const std::int64_t result = csaReduce(products);
+    if (activity) {
+        // Fully parallel: latency is the adder-tree depth plus the
+        // multiplier stage, independent of fan-in count.
+        activity->cycles += 1 + ceilLog2(std::max<std::size_t>(
+                                    products.size(), 1));
+        activity->multiplyOps += multiplies;
+        const CsaTreeShape tree = csaTreeShape(products.size());
+        activity->treeAddOps += tree.compressorCount + 1;
+    }
+    return result;
+}
+
+} // namespace hnlpu

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Cell-Embedding (CE) neuron: the conventional hardwired baseline.
+ *
+ * CE embeds each weight in a dedicated constant multiplier cell followed
+ * by a wide adder tree (paper Fig. 4 (1)).  Functionally it computes the
+ * same dot product as the Hardwired-Neuron; what differs is the hardware
+ * cost structure (one multiplier per input instead of sixteen per neuron)
+ * which the physical model in src/phys prices.
+ */
+
+#ifndef HNLPU_HN_CE_NEURON_HH
+#define HNLPU_HN_CE_NEURON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arith/fp4.hh"
+
+namespace hnlpu {
+
+/** Activity counters for a CE evaluation. */
+struct CeActivity
+{
+    std::size_t cycles = 0;      //!< single-pass latency (tree depth)
+    std::size_t multiplyOps = 0; //!< constant multiplies fired
+    std::size_t treeAddOps = 0;  //!< adder-tree additions
+};
+
+/** A cell-embedded neuron: one constant multiplier per input weight. */
+class CellEmbeddedNeuron
+{
+  public:
+    explicit CellEmbeddedNeuron(std::vector<Fp4> weights);
+
+    /**
+     * Evaluate: sum_i (2 * w_i) * x_i (same integer convention as the
+     * Hardwired-Neuron so results compare bit-exactly).
+     */
+    std::int64_t compute(const std::vector<std::int64_t> &activations,
+                         CeActivity *activity = nullptr) const;
+
+    std::size_t inputCount() const { return weights_.size(); }
+    const std::vector<Fp4> &weights() const { return weights_; }
+
+  private:
+    std::vector<Fp4> weights_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_HN_CE_NEURON_HH

@@ -1,0 +1,104 @@
+#include "hn/hn_array.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace hnlpu {
+
+HnArray::HnArray(const SeaOfNeuronsTemplate &tmpl,
+                 const std::vector<Fp4> &weights_row_major,
+                 std::size_t rows, std::size_t cols)
+    : cols_(cols)
+{
+    hnlpu_assert(weights_row_major.size() == rows * cols,
+                 "weight matrix size mismatch: ", weights_row_major.size(),
+                 " != ", rows, "x", cols);
+    hnlpu_assert(tmpl.inputCount == cols,
+                 "template fan-in ", tmpl.inputCount,
+                 " != matrix cols ", cols);
+
+    neurons_.reserve(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::vector<Fp4> row(weights_row_major.begin() + r * cols,
+                             weights_row_major.begin() + (r + 1) * cols);
+        for (const Fp4 &w : row) {
+            if (w.isZero())
+                ++zeroWeights_;
+        }
+        std::string error;
+        auto topo = WireTopology::program(tmpl, row, &error);
+        if (!topo) {
+            hnlpu_fatal("HN array row ", r,
+                        " failed to program: ", error);
+        }
+        neurons_.emplace_back(std::move(*topo));
+    }
+}
+
+std::vector<std::int64_t>
+HnArray::gemvSerial(const std::vector<std::int64_t> &activations,
+                    unsigned width, HnActivity *activity) const
+{
+    std::vector<std::int64_t> out(neurons_.size());
+    for (std::size_t r = 0; r < neurons_.size(); ++r)
+        out[r] = neurons_[r].computeSerial(activations, width, activity);
+    return out;
+}
+
+std::vector<std::int64_t>
+HnArray::gemvReference(const std::vector<std::int64_t> &activations) const
+{
+    std::vector<std::int64_t> out(neurons_.size());
+    for (std::size_t r = 0; r < neurons_.size(); ++r)
+        out[r] = neurons_[r].computeReference(activations);
+    return out;
+}
+
+std::vector<double>
+HnArray::gemvReal(const std::vector<double> &activations, unsigned width,
+                  HnActivity *activity) const
+{
+    const QuantizedVector q = quantizeSymmetric(activations, width);
+    const std::vector<std::int64_t> ints =
+        gemvSerial(q.values, width, activity);
+    std::vector<double> out(ints.size());
+    // Weights contribute 2*w, so fold the missing 1/2 into the scale.
+    const double scale = q.scale * 0.5;
+    for (std::size_t i = 0; i < ints.size(); ++i)
+        out[i] = static_cast<double>(ints[i]) * scale;
+    return out;
+}
+
+const HardwiredNeuron &
+HnArray::neuron(std::size_t row) const
+{
+    hnlpu_assert(row < neurons_.size(), "neuron row out of range");
+    return neurons_[row];
+}
+
+HnArrayStats
+HnArray::stats() const
+{
+    HnArrayStats s;
+    s.rows = neurons_.size();
+    s.cols = cols_;
+    s.zeroWeights = zeroWeights_;
+    for (const auto &neuron : neurons_) {
+        s.totalWires += neuron.topology().wireCount();
+        s.groundedPorts += neuron.topology().groundedPorts();
+    }
+    return s;
+}
+
+std::vector<Fp4>
+syntheticFp4Weights(std::size_t count, std::uint64_t seed, double stddev)
+{
+    Rng rng(seed);
+    std::vector<Fp4> weights;
+    weights.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        weights.push_back(Fp4::quantize(rng.gaussian(0.0, stddev)));
+    return weights;
+}
+
+} // namespace hnlpu

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * HN Array: a matrix of Hardwired-Neurons implementing y = W x.
+ *
+ * Each output neuron corresponds to one row of the FP4 weight matrix; all
+ * rows share the same prefabricated Sea-of-Neurons template and differ
+ * only in their metal wire topology.  The array exposes:
+ *
+ *  - bit-exact integer GEMV on quantised activations (bit-serial path and
+ *    a reference path, which must agree);
+ *  - a real-valued GEMV that quantises activations, runs the integer
+ *    path and dequantises (this is what the transformer engine uses);
+ *  - aggregate structural statistics for the physical model.
+ */
+
+#ifndef HNLPU_HN_HN_ARRAY_HH
+#define HNLPU_HN_HN_ARRAY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arith/fp4.hh"
+#include "arith/quantize.hh"
+#include "hn/hn_neuron.hh"
+#include "hn/wire_topology.hh"
+
+namespace hnlpu {
+
+/** Structural summary of a programmed HN array. */
+struct HnArrayStats
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::size_t totalWires = 0;     //!< metal embedding wires
+    std::size_t groundedPorts = 0;  //!< slack ports tied to ground
+    std::size_t zeroWeights = 0;    //!< weights requiring no wire
+};
+
+/** A programmed matrix of Hardwired-Neurons. */
+class HnArray
+{
+  public:
+    /**
+     * Program a weight matrix (row-major, rows x cols) onto a shared
+     * template.  Fatal on capacity overflow: the caller controls slack
+     * via the template and should size it for the weight distribution.
+     */
+    HnArray(const SeaOfNeuronsTemplate &tmpl,
+            const std::vector<Fp4> &weights_row_major, std::size_t rows,
+            std::size_t cols);
+
+    std::size_t rows() const { return neurons_.size(); }
+    std::size_t cols() const { return cols_; }
+
+    /** Bit-serial integer GEMV: out_j = sum_i (2*W_ji) * x_i. */
+    std::vector<std::int64_t> gemvSerial(
+        const std::vector<std::int64_t> &activations, unsigned width,
+        HnActivity *activity = nullptr) const;
+
+    /** Reference integer GEMV (oracle). */
+    std::vector<std::int64_t> gemvReference(
+        const std::vector<std::int64_t> &activations) const;
+
+    /**
+     * Real-valued GEMV: symmetric @p width-bit activation quantisation,
+     * integer evaluation, dequantisation (including the 1/2 from the
+     * twice-value weight convention).
+     */
+    std::vector<double> gemvReal(const std::vector<double> &activations,
+                                 unsigned width = 8,
+                                 HnActivity *activity = nullptr) const;
+
+    const HardwiredNeuron &neuron(std::size_t row) const;
+
+    HnArrayStats stats() const;
+
+  private:
+    std::size_t cols_ = 0;
+    std::size_t zeroWeights_ = 0;
+    std::vector<HardwiredNeuron> neurons_;
+};
+
+/**
+ * Generate a synthetic FP4 weight matrix whose value histogram follows a
+ * roughly Gaussian logit distribution (stand-in for trained LLM weights;
+ * see DESIGN.md substitution table).
+ */
+std::vector<Fp4> syntheticFp4Weights(std::size_t count,
+                                     std::uint64_t seed,
+                                     double stddev = 1.5);
+
+} // namespace hnlpu
+
+#endif // HNLPU_HN_HN_ARRAY_HH

@@ -1,0 +1,87 @@
+#include "hn/hn_neuron.hh"
+
+#include "arith/bitserial.hh"
+#include "arith/csa.hh"
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+HardwiredNeuron::HardwiredNeuron(WireTopology topology)
+    : topology_(std::move(topology))
+{
+}
+
+std::int64_t
+HardwiredNeuron::computeSerial(
+    const std::vector<std::int64_t> &activations, unsigned width,
+    HnActivity *activity) const
+{
+    const auto &tmpl = topology_.tmpl();
+    hnlpu_assert(activations.size() == tmpl.inputCount,
+                 "activation count mismatch");
+
+    BitSerializer serializer(activations, width);
+
+    // One serial accumulator per FP4 value region.
+    std::vector<SerialAccumulator> accumulators(kFp4Codes);
+    std::size_t popcount_bits = 0;
+
+    for (unsigned bit = 0; bit < width; ++bit) {
+        const bool sign_plane = serializer.isSignPlane(bit);
+        const std::vector<bool> plane = serializer.plane(bit);
+        for (int code = 0; code < kFp4Codes; ++code) {
+            const auto &region = topology_.region(
+                static_cast<std::uint8_t>(code));
+            if (region.empty())
+                continue;
+            std::int64_t count = 0;
+            for (std::uint32_t input : region)
+                count += plane[input] ? 1 : 0;
+            popcount_bits += region.size();
+            accumulators[code].addPlane(bit, sign_plane, count);
+        }
+    }
+
+    // Constant multiply per region (2*w, exact integer) then reduce the
+    // sixteen products with a CSA tree.
+    const auto &twice = fp4TwiceValueTable();
+    std::vector<std::int64_t> products;
+    products.reserve(kFp4Codes);
+    std::size_t multiplies = 0;
+    for (int code = 0; code < kFp4Codes; ++code) {
+        if (topology_.region(static_cast<std::uint8_t>(code)).empty())
+            continue;
+        products.push_back(accumulators[code].total() * twice[code]);
+        ++multiplies;
+    }
+    const std::int64_t result = csaReduce(products);
+
+    if (activity) {
+        const CsaTreeShape tree = csaTreeShape(products.size());
+        activity->cycles += bitSerialCycles(width, tree.depth);
+        activity->popcountBitOps += popcount_bits;
+        activity->multiplyOps += multiplies;
+        activity->treeAddOps += tree.compressorCount + 1;
+    }
+    return result;
+}
+
+std::int64_t
+HardwiredNeuron::computeReference(
+    const std::vector<std::int64_t> &activations) const
+{
+    const auto &tmpl = topology_.tmpl();
+    hnlpu_assert(activations.size() == tmpl.inputCount,
+                 "activation count mismatch");
+    const auto &twice = fp4TwiceValueTable();
+    std::int64_t total = 0;
+    for (int code = 0; code < kFp4Codes; ++code) {
+        const auto &region = topology_.region(
+            static_cast<std::uint8_t>(code));
+        for (std::uint32_t input : region)
+            total += twice[code] * activations[input];
+    }
+    return total;
+}
+
+} // namespace hnlpu

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Hardwired-Neuron (Metal-Embedding) functional model.
+ *
+ * The HN is an accumulate-multiply-accumulate unit (paper Fig. 4 (2)):
+ *
+ *  1. inputs arrive as 1-bit serialised planes (LSB first);
+ *  2. each FP4-value region POPCNTs the bits of the inputs wired to it;
+ *  3. a serial accumulator per region folds the per-plane counts into the
+ *     integer sum of that region's inputs;
+ *  4. sixteen constant multipliers scale each region sum by its weight
+ *     (as the exact integer 2*w) and a 16-way adder tree produces the
+ *     dot product.
+ *
+ * The model is bit-exact: for integer activations x and FP4 weights w,
+ * computeSerial() returns sum_i (2*w_i) * x_i, so (result * scale / 2)
+ * reproduces the real dot product up to activation quantisation only.
+ */
+
+#ifndef HNLPU_HN_HN_NEURON_HH
+#define HNLPU_HN_HN_NEURON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arith/fp4.hh"
+#include "hn/wire_topology.hh"
+
+namespace hnlpu {
+
+/** Per-evaluation activity counters used by the energy model. */
+struct HnActivity
+{
+    std::size_t cycles = 0;         //!< bit-serial cycles consumed
+    std::size_t popcountBitOps = 0; //!< bits examined across regions
+    std::size_t multiplyOps = 0;    //!< constant multiplies fired
+    std::size_t treeAddOps = 0;     //!< final adder-tree additions
+};
+
+/** One Hardwired-Neuron programmed with a wire topology. */
+class HardwiredNeuron
+{
+  public:
+    explicit HardwiredNeuron(WireTopology topology);
+
+    /**
+     * Evaluate the neuron bit-serially.
+     * @param activations integer activations (one per template input)
+     * @param width activation bit width (serial cycle count driver)
+     * @param activity optional activity counter accumulation
+     * @return sum_i (2 * w_i) * x_i as an exact integer
+     */
+    std::int64_t computeSerial(
+        const std::vector<std::int64_t> &activations, unsigned width,
+        HnActivity *activity = nullptr) const;
+
+    /** Same result via direct integer arithmetic (oracle). */
+    std::int64_t computeReference(
+        const std::vector<std::int64_t> &activations) const;
+
+    const WireTopology &topology() const { return topology_; }
+
+  private:
+    WireTopology topology_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_HN_HN_NEURON_HH

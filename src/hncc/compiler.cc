@@ -1,0 +1,136 @@
+#include "hncc/compiler.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "phys/area_model.hh"
+
+namespace hnlpu {
+
+HnCompiler::HnCompiler(TechnologyParams tech, MetalizationParams params)
+    : tech_(tech), params_(params)
+{
+    hnlpu_assert(params_.signalLayers >= 1, "need signal layers");
+    hnlpu_assert(params_.trackPitchUm > 0, "bad track pitch");
+}
+
+MetalizationPlan
+HnCompiler::compile(const SeaOfNeuronsTemplate &tmpl,
+                    const std::vector<Fp4> &weights, std::size_t rows,
+                    std::size_t cols) const
+{
+    hnlpu_assert(weights.size() == rows * cols,
+                 "weight matrix shape mismatch");
+    hnlpu_assert(tmpl.inputCount == cols,
+                 "template fan-in must equal matrix cols");
+
+    MetalizationPlan plan;
+    plan.params_ = params_;
+    plan.topologies_.reserve(rows);
+
+    MetalizationStats &stats = plan.stats_;
+    stats.neurons = rows;
+
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::vector<Fp4> row(weights.begin() + r * cols,
+                             weights.begin() + (r + 1) * cols);
+        std::string error;
+        auto topo = WireTopology::program(tmpl, row, &error);
+        if (!topo) {
+            plan.violations_.push_back(CompileViolation{r, error});
+            // Keep an empty placeholder so indices stay aligned.
+            plan.topologies_.push_back(
+                *WireTopology::program(tmpl,
+                                       std::vector<Fp4>(
+                                           cols, Fp4::quantize(0.0))));
+            continue;
+        }
+        stats.wires += topo->wireCount();
+        stats.groundedPorts += topo->groundedPorts();
+        for (int code = 0; code < kFp4Codes; ++code)
+            stats.valueHistogram[code] += topo->histogram()[code];
+        plan.topologies_.push_back(std::move(*topo));
+    }
+    stats.zeroWeights = stats.valueHistogram[0] +
+                        stats.valueHistogram[8];
+    const double provisioned =
+        double(rows) * double(tmpl.totalPorts());
+    stats.slackUtilisation =
+        provisioned > 0 ? double(stats.wires) / provisioned : 0.0;
+
+    // -- physical estimates ------------------------------------------------
+    // Each neuron occupies a Metal-Embedding footprint; an embedding
+    // wire runs from its input port to its value region, on average
+    // half the neuron span, with a detour factor.
+    AreaModel area(tech_);
+    const double neuron_area_mm2 = area.metalEmbedding(double(cols));
+    const double neuron_span_mm = std::sqrt(neuron_area_mm2);
+    const double avg_wire_mm = params_.avgWireSpanFraction *
+                               neuron_span_mm *
+                               params_.routeDetourFactor;
+    stats.totalWireLengthMm = avg_wire_mm * double(stats.wires);
+
+    // Track capacity: each signal layer provides (span / pitch) tracks
+    // of neuron-span length per neuron footprint.
+    const double tracks_per_layer =
+        neuron_span_mm * 1000.0 / params_.trackPitchUm;
+    const double capacity_mm_per_neuron =
+        tracks_per_layer * neuron_span_mm *
+        double(params_.signalLayers);
+    const double capacity_mm = capacity_mm_per_neuron * double(rows);
+    stats.routingDensity =
+        capacity_mm > 0 ? stats.totalWireLengthMm / capacity_mm : 0.0;
+
+    if (stats.routingDensity > params_.densityLimit) {
+        plan.violations_.push_back(CompileViolation{
+            rows,
+            "routing density " +
+                std::to_string(stats.routingDensity) +
+                " exceeds sign-off limit " +
+                std::to_string(params_.densityLimit)});
+    }
+    return plan;
+}
+
+std::string
+MetalizationPlan::emitScript(std::size_t max_lines) const
+{
+    static const char *kLayers[] = {"M8", "M9", "M10", "M11"};
+    std::ostringstream oss;
+    oss << "# hncc metal-embedding script: " << stats_.neurons
+        << " neurons, " << stats_.wires << " wires\n";
+    std::size_t emitted = 0;
+    std::size_t wire_id = 0;
+    for (std::size_t n = 0; n < topologies_.size(); ++n) {
+        const WireTopology &topo = topologies_[n];
+        for (int code = 0; code < kFp4Codes; ++code) {
+            for (std::uint32_t input :
+                 topo.region(static_cast<std::uint8_t>(code))) {
+                if (emitted < max_lines) {
+                    const char *layer =
+                        kLayers[wire_id %
+                                (sizeof(kLayers) / sizeof(*kLayers))];
+                    oss << "route_embedding_wire -neuron " << n
+                        << " -input " << input << " -region 0x"
+                        << std::hex << code << std::dec << " -layer "
+                        << layer << "\n";
+                    ++emitted;
+                }
+                ++wire_id;
+            }
+        }
+    }
+    if (wire_id > emitted) {
+        oss << "# ... " << (wire_id - emitted)
+            << " further wires elided\n";
+    }
+    oss << "# routing density "
+        << static_cast<int>(stats_.routingDensity * 100.0)
+        << "% of M8-M11 capacity (limit "
+        << static_cast<int>(params_.densityLimit * 100.0) << "%), "
+        << (drcClean() ? "DRC clean" : "DRC VIOLATIONS") << "\n";
+    return oss.str();
+}
+
+} // namespace hnlpu

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Hardwired-Neuron Compiler (hncc).
+ *
+ * The paper's Sea-of-Neurons flow (Section 3.2) finalises a
+ * prefabricated HN array with metal-embedding wires: custom tooling
+ * reads the weight parameters and generates scripts that instruct the
+ * P&R EDA tool to draw the M8-M11 wires, after which DRC/LVS sign-off
+ * verifies the layout (routing density stayed below 70% in the paper's
+ * runs).  Section 8 lists an automated "Hardwired-Neuron Compiler" as
+ * future work; this module is that compiler for our models:
+ *
+ *  - programs a weight matrix onto a Sea-of-Neurons template row by
+ *    row (WireTopology), collecting DRC-style violations instead of
+ *    dying on the first overflow;
+ *  - estimates physical metalization statistics: wire count and
+ *    length, per-metal-layer track demand and routing density against
+ *    the M8-M11 capacity, slack (grounded port) utilisation;
+ *  - emits the deterministic wiring script the EDA flow would consume.
+ */
+
+#ifndef HNLPU_HNCC_COMPILER_HH
+#define HNLPU_HNCC_COMPILER_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "hn/wire_topology.hh"
+#include "phys/technology.hh"
+
+namespace hnlpu {
+
+/** Physical assumptions for the metal-embedding layers. */
+struct MetalizationParams
+{
+    /** Signal wiring layers among the ten ME masks (M8..M11; the
+     *  interleaved via/cut masks carry no routed length). */
+    std::size_t signalLayers = 4;
+    /** Routing track pitch on M8-M11 (~80 nm). */
+    double trackPitchUm = 0.08;
+    /** Detour factor over the Manhattan estimate. */
+    double routeDetourFactor = 1.3;
+    /** Mean embedding-wire length as a fraction of the neuron span:
+     *  inputs are delivered on per-slice spines, so a tap only crosses
+     *  a slice-scale distance (calibrated so the gpt-oss fan-in lands
+     *  just under the paper's 70%% sign-off density). */
+    double avgWireSpanFraction = 0.15;
+    /** Sign-off limit on routing density (paper: < 70%). */
+    double densityLimit = 0.70;
+};
+
+/** Aggregate metalization statistics for one compiled block. */
+struct MetalizationStats
+{
+    std::size_t neurons = 0;
+    std::size_t wires = 0;
+    std::size_t zeroWeights = 0;       //!< unrouted inputs
+    std::size_t groundedPorts = 0;
+    double slackUtilisation = 0;       //!< used ports / provisioned
+    double totalWireLengthMm = 0;
+    double routingDensity = 0;         //!< demand / capacity on M8-M11
+    std::array<std::size_t, kFp4Codes> valueHistogram{};
+};
+
+/** One DRC-style violation found during compilation. */
+struct CompileViolation
+{
+    std::size_t neuron = 0;
+    std::string message;
+};
+
+/** The compiled metalization of a weight block. */
+class MetalizationPlan
+{
+  public:
+    const MetalizationStats &stats() const { return stats_; }
+    const std::vector<CompileViolation> &violations() const
+    {
+        return violations_;
+    }
+    bool drcClean() const { return violations_.empty(); }
+
+    /** Programmed per-neuron topologies (empty rows for failures). */
+    const std::vector<WireTopology> &topologies() const
+    {
+        return topologies_;
+    }
+
+    /**
+     * Emit the wiring script (one `route_embedding_wire` command per
+     * wire, layers assigned round-robin), truncated to @p max_lines
+     * plus a summary trailer.  Deterministic.
+     */
+    std::string emitScript(std::size_t max_lines = 64) const;
+
+  private:
+    friend class HnCompiler;
+    MetalizationStats stats_;
+    std::vector<CompileViolation> violations_;
+    std::vector<WireTopology> topologies_;
+    MetalizationParams params_;
+};
+
+/** Compiles weight matrices onto Sea-of-Neurons templates. */
+class HnCompiler
+{
+  public:
+    HnCompiler(TechnologyParams tech,
+               MetalizationParams params = MetalizationParams{});
+
+    /**
+     * Compile a rows x cols FP4 matrix onto @p tmpl (one neuron per
+     * row; tmpl fan-in must equal cols).
+     */
+    MetalizationPlan compile(const SeaOfNeuronsTemplate &tmpl,
+                             const std::vector<Fp4> &weights,
+                             std::size_t rows, std::size_t cols) const;
+
+    const MetalizationParams &params() const { return params_; }
+
+  private:
+    TechnologyParams tech_;
+    MetalizationParams params_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_HNCC_COMPILER_HH

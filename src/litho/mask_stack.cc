@@ -1,0 +1,58 @@
+#include "litho/mask_stack.hh"
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+std::size_t
+MaskStack::totalLayers() const
+{
+    return euvLayers + duvLayers;
+}
+
+double
+MaskStack::normalizedUnits() const
+{
+    return double(duvLayers) + double(euvLayers) * euvCostWeight;
+}
+
+double
+MaskStack::metalEmbeddingFraction() const
+{
+    hnlpu_assert(metalEmbeddingLayers <= duvLayers,
+                 "ME layers must be DUV layers");
+    return double(metalEmbeddingLayers) / normalizedUnits();
+}
+
+CostRange
+MaskStack::homogeneousCost() const
+{
+    return fullSetPrice * (1.0 - metalEmbeddingFraction());
+}
+
+CostRange
+MaskStack::metalEmbeddingCostPerChip() const
+{
+    return fullSetPrice * metalEmbeddingFraction();
+}
+
+Dollars
+MaskStack::strawmanCost(std::size_t chips) const
+{
+    return fullSetPrice.hi * double(chips);
+}
+
+CostRange
+MaskStack::seaOfNeuronsCost(std::size_t chips) const
+{
+    return homogeneousCost() +
+           metalEmbeddingCostPerChip() * double(chips);
+}
+
+CostRange
+MaskStack::respinCost(std::size_t chips) const
+{
+    return metalEmbeddingCostPerChip() * double(chips);
+}
+
+} // namespace hnlpu

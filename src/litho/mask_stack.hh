@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Photomask stack and pricing model (paper Section 3.2 / Appendix B).
+ *
+ * A 5 nm layer stack comprises 12 EUV and 58 DUV mask layers; EUV
+ * reticles carry a 6x cost weight, so a full set is 58 + 12*6 = 130
+ * normalised DUV units, anchored to $15 M (optimistic) .. $30 M
+ * (pessimistic).  Metal-Embedding confines the parameter-dependent
+ * patterning to 10 DUV reticles (VIA7..M11), i.e. 10/130 = 7.7% of the
+ * set; the remaining 92.3% (including every EUV mask) is homogeneous
+ * and shared across all chips and all future weight re-spins.
+ */
+
+#ifndef HNLPU_LITHO_MASK_STACK_HH
+#define HNLPU_LITHO_MASK_STACK_HH
+
+#include "common/units.hh"
+
+namespace hnlpu {
+
+/** An optimistic..pessimistic dollar range. */
+struct CostRange
+{
+    Dollars lo = 0;
+    Dollars hi = 0;
+
+    Dollars mid() const { return 0.5 * (lo + hi); }
+    CostRange operator+(const CostRange &other) const
+    {
+        return {lo + other.lo, hi + other.hi};
+    }
+    CostRange operator*(double k) const { return {lo * k, hi * k}; }
+    CostRange &operator+=(const CostRange &other)
+    {
+        lo += other.lo;
+        hi += other.hi;
+        return *this;
+    }
+};
+
+/** The photomask layer stack of a process node. */
+struct MaskStack
+{
+    std::size_t euvLayers = 12;
+    std::size_t duvLayers = 58;
+    double euvCostWeight = 6.0;
+    /** Parameter-dependent (Metal-Embedding) DUV layers: VIA7, M8
+     *  mandrel/cut, VIA8, M9 mandrel/cut, VIA9, M10, VIA10, M11. */
+    std::size_t metalEmbeddingLayers = 10;
+    /** Full-set price anchors at 5 nm. */
+    CostRange fullSetPrice{15e6, 30e6};
+
+    /** Total layers (70 at 5 nm). */
+    std::size_t totalLayers() const;
+    /** Normalised DUV units of the full set (130). */
+    double normalizedUnits() const;
+    /** Fraction of set cost in the ME layers (~7.7%). */
+    double metalEmbeddingFraction() const;
+
+    /** Shared (homogeneous) mask cost: one set for all chips. */
+    CostRange homogeneousCost() const;
+    /** Parameter-dependent mask cost per chip variant. */
+    CostRange metalEmbeddingCostPerChip() const;
+    /** Full heterogeneous sets for @p chips (the Section 2.2 strawman,
+     *  priced at the pessimistic anchor as in the paper's $6 B). */
+    Dollars strawmanCost(std::size_t chips) const;
+
+    /** Sea-of-Neurons total mask cost for @p chips. */
+    CostRange seaOfNeuronsCost(std::size_t chips) const;
+    /** Mask cost of a weight-update re-spin for @p chips. */
+    CostRange respinCost(std::size_t chips) const;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_LITHO_MASK_STACK_HH

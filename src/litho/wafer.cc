@@ -1,0 +1,48 @@
+#include "litho/wafer.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+WaferModel::WaferModel(TechnologyParams tech) : tech_(tech) {}
+
+double
+WaferModel::grossDiesPerWafer(AreaMm2 die_area) const
+{
+    hnlpu_assert(die_area > 0, "die area must be positive");
+    hnlpu_assert(die_area <= kReticleLimit, "die exceeds reticle limit");
+    const double d = tech_.waferDiameterMm;
+    // Standard gross-die estimate: wafer area over die area minus the
+    // edge-loss correction term.
+    return std::numbers::pi * d * d / (4.0 * die_area) -
+           std::numbers::pi * d / std::sqrt(2.0 * die_area);
+}
+
+double
+WaferModel::murphyYield(AreaMm2 die_area) const
+{
+    // Murphy's model: Y = ((1 - e^{-AD}) / (AD))^2 with A in cm^2.
+    const double ad = (die_area / 100.0) * tech_.defectDensityPerCm2;
+    if (ad <= 0)
+        return 1.0;
+    const double factor = (1.0 - std::exp(-ad)) / ad;
+    return factor * factor;
+}
+
+WaferEconomics
+WaferModel::economics(AreaMm2 die_area) const
+{
+    WaferEconomics e;
+    e.grossDiesPerWafer = std::floor(grossDiesPerWafer(die_area));
+    e.yield = murphyYield(die_area);
+    e.goodDiesPerWafer = std::round(e.grossDiesPerWafer * e.yield);
+    hnlpu_assert(e.goodDiesPerWafer >= 1.0,
+                 "no good dies at this size/defect density");
+    e.costPerGoodDie = tech_.waferPrice / e.goodDiesPerWafer;
+    return e;
+}
+
+} // namespace hnlpu

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Wafer economics: die-per-wafer, Murphy yield and good-die cost
+ * (paper Appendix B, note 3).
+ */
+
+#ifndef HNLPU_LITHO_WAFER_HH
+#define HNLPU_LITHO_WAFER_HH
+
+#include "phys/technology.hh"
+
+namespace hnlpu {
+
+/** Per-die manufacturing figures for one die size on one technology. */
+struct WaferEconomics
+{
+    double grossDiesPerWafer = 0;
+    double yield = 0;            //!< Murphy model
+    double goodDiesPerWafer = 0;
+    Dollars costPerGoodDie = 0;
+};
+
+/** Wafer-level cost model. */
+class WaferModel
+{
+  public:
+    explicit WaferModel(TechnologyParams tech);
+
+    /** Gross die candidates on a wafer for @p die_area. */
+    double grossDiesPerWafer(AreaMm2 die_area) const;
+
+    /** Murphy yield for @p die_area at the node's defect density. */
+    double murphyYield(AreaMm2 die_area) const;
+
+    /** Full economics for @p die_area. */
+    WaferEconomics economics(AreaMm2 die_area) const;
+
+    /** Maximum die area a single reticle can expose (26 x 33 mm). */
+    static constexpr AreaMm2 kReticleLimit = 858.0;
+
+    const TechnologyParams &tech() const { return tech_; }
+
+  private:
+    TechnologyParams tech_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_LITHO_WAFER_HH

@@ -1,0 +1,33 @@
+#include "mem/hbm.hh"
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+Bytes
+HbmParams::capacityBytes() const
+{
+    return static_cast<double>(stacks) * stackCapacity;
+}
+
+BytesPerSecond
+HbmParams::effectiveBandwidth() const
+{
+    return static_cast<double>(stacks) * stackBandwidth *
+           accessEfficiency;
+}
+
+Tick
+HbmParams::streamTicks(Bytes bytes) const
+{
+    hnlpu_assert(bytes >= 0, "negative stream size");
+    return toTicks(bytes / effectiveBandwidth());
+}
+
+Tick
+HbmParams::accessLatencyTicks() const
+{
+    return toTicks(accessLatency);
+}
+
+} // namespace hnlpu

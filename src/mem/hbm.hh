@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Per-module HBM model.
+ *
+ * Each compute module carries 8 stacks x 24 GB (192 GB) holding the
+ * embedding tables and KV-cache overflow.  Bandwidth is the aggregate of
+ * the stacks' channels derated by an access efficiency; the KV manager
+ * uses it to decide whether double-buffered prefetch hides the overflow
+ * traffic.
+ */
+
+#ifndef HNLPU_MEM_HBM_HH
+#define HNLPU_MEM_HBM_HH
+
+#include "common/units.hh"
+
+namespace hnlpu {
+
+/** Configuration of one module's HBM subsystem. */
+struct HbmParams
+{
+    std::size_t stacks = 8;
+    Bytes stackCapacity = 24.0 * kGiB;
+    BytesPerSecond stackBandwidth = 0.4e12; //!< per stack
+    double accessEfficiency = 0.8;
+    Seconds accessLatency = 120e-9;
+
+    Bytes capacityBytes() const;
+    BytesPerSecond effectiveBandwidth() const;
+    /** Ticks to transfer @p bytes (streaming, latency amortised). */
+    Tick streamTicks(Bytes bytes) const;
+    Tick accessLatencyTicks() const;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_MEM_HBM_HH

@@ -1,0 +1,88 @@
+#include "mem/kv_store.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+KvStore::KvStore(SystemPartition partition, SramBufferParams buffer,
+                 HbmParams hbm, double buffer_kv_share)
+    : partition_(std::move(partition)), buffer_(buffer), hbm_(hbm),
+      bufferKvShare_(buffer_kv_share)
+{
+    hnlpu_assert(bufferKvShare_ > 0.0 && bufferKvShare_ <= 1.0,
+                 "buffer KV share must be in (0, 1]");
+}
+
+Bytes
+KvStore::kvBytesPerTokenPerLayerPerChip() const
+{
+    // Each chip holds 1/gridRows of the tokens for its column's KV
+    // heads: kv_heads_per_col * head_dim * 2 (K and V) * 1 B.
+    const auto &m = partition_.model;
+    return 2.0 * double(partition_.kvHeadsPerColumn()) *
+           double(m.headDim) / double(partition_.gridRows);
+}
+
+Bytes
+KvStore::bytesPerTokenPerChip() const
+{
+    // Only full-attention layers grow with context; sliding-window
+    // layers keep a fixed ring buffer accounted in place().
+    return kvBytesPerTokenPerLayerPerChip() *
+           double(partition_.model.fullAttentionLayerCount());
+}
+
+KvPlacement
+KvStore::place(std::size_t context_tokens, std::size_t sequences) const
+{
+    const auto &m = partition_.model;
+    KvPlacement p;
+    const double window_tokens =
+        m.slidingWindow > 0
+            ? double(std::min<std::size_t>(context_tokens,
+                                           m.slidingWindow))
+            : 0.0;
+    const Bytes sliding_bytes = kvBytesPerTokenPerLayerPerChip() *
+                                double(m.slidingLayerCount()) *
+                                window_tokens * double(sequences);
+    const Bytes full_bytes = bytesPerTokenPerChip() *
+                             double(context_tokens) * double(sequences);
+    p.totalBytesPerChip = full_bytes + sliding_bytes;
+
+    // Sliding-window rings are small and hot: they stay resident; the
+    // remaining budget hosts full-attention KV.
+    const Bytes budget = buffer_.capacityBytes() * bufferKvShare_;
+    const Bytes full_budget = std::max(0.0, budget - sliding_bytes);
+    const Bytes full_resident = std::min(full_bytes, full_budget);
+    p.residentBytesPerChip =
+        std::min(sliding_bytes, budget) + full_resident;
+    p.overflowBytesPerChip = p.totalBytesPerChip - p.residentBytesPerChip;
+    p.overflowFraction =
+        p.totalBytesPerChip > 0
+            ? p.overflowBytesPerChip / p.totalBytesPerChip
+            : 0.0;
+    // Decode re-reads the cached context each token; the overflow
+    // share streams from HBM across the full-attention layers.
+    const double full_layers = double(m.fullAttentionLayerCount());
+    p.hbmReadPerTokenPerLayer =
+        full_layers > 0 ? p.overflowBytesPerChip / full_layers : 0.0;
+    return p;
+}
+
+std::size_t
+KvStore::maxResidentContext() const
+{
+    const auto &m = partition_.model;
+    const Bytes budget = buffer_.capacityBytes() * bufferKvShare_;
+    const Bytes sliding_bytes = kvBytesPerTokenPerLayerPerChip() *
+                                double(m.slidingLayerCount()) *
+                                double(m.slidingWindow);
+    return static_cast<std::size_t>(std::floor(
+        std::max(0.0, budget - sliding_bytes) /
+        bytesPerTokenPerChip()));
+}
+
+} // namespace hnlpu

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * KV-cache placement planner: attention buffer first, HBM overflow.
+ *
+ * Each chip of a column stores an interleaved quarter of the sequence
+ * for its column's KV heads (paper Fig. 10 (IV): chip = addr mod 4).
+ * The on-chip Attention Buffer holds KV entries until capacity is
+ * exceeded, then excess entries spill to HBM (Section 4.3).  During
+ * decode the whole cached context is re-read every token, so the
+ * overflow fraction directly becomes HBM streaming traffic which double
+ * buffering tries to hide behind attention compute.
+ */
+
+#ifndef HNLPU_MEM_KV_STORE_HH
+#define HNLPU_MEM_KV_STORE_HH
+
+#include "mem/hbm.hh"
+#include "mem/sram.hh"
+#include "model/partition.hh"
+
+namespace hnlpu {
+
+/** Static placement of the KV cache for one context length. */
+struct KvPlacement
+{
+    Bytes totalBytesPerChip = 0;    //!< all layers, K+V
+    Bytes residentBytesPerChip = 0; //!< in the attention buffer
+    Bytes overflowBytesPerChip = 0; //!< spilled to HBM
+    double overflowFraction = 0.0;  //!< overflow / total
+
+    /** HBM bytes streamed per token per layer during decode. */
+    Bytes hbmReadPerTokenPerLayer = 0;
+};
+
+/** Computes placements and per-token HBM traffic. */
+class KvStore
+{
+  public:
+    KvStore(SystemPartition partition, SramBufferParams buffer,
+            HbmParams hbm, double buffer_kv_share = 0.95);
+
+    /**
+     * Placement for a given total context length (tokens cached per
+     * sequence times concurrent sequences is handled by the caller via
+     * @p sequences).
+     */
+    KvPlacement place(std::size_t context_tokens,
+                      std::size_t sequences = 1) const;
+
+    /** Bytes of K+V one chip stores per cached token per layer. */
+    Bytes kvBytesPerTokenPerLayerPerChip() const;
+
+    /** Marginal bytes of K+V one chip stores per cached token
+     *  (full-attention layers only; sliding rings are fixed-size). */
+    Bytes bytesPerTokenPerChip() const;
+
+    /** Maximum context (single sequence) fully resident on-chip. */
+    std::size_t maxResidentContext() const;
+
+    const SramBufferParams &buffer() const { return buffer_; }
+    const HbmParams &hbm() const { return hbm_; }
+
+  private:
+    SystemPartition partition_;
+    SramBufferParams buffer_;
+    HbmParams hbm_;
+    /** Share of the buffer available to KV (rest: residuals, staging). */
+    double bufferKvShare_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_MEM_KV_STORE_HH

@@ -1,0 +1,34 @@
+#include "mem/sram.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+Bytes
+SramBufferParams::capacityBytes() const
+{
+    return static_cast<double>(banks) * bankBytes;
+}
+
+BytesPerSecond
+SramBufferParams::readBandwidth() const
+{
+    return static_cast<double>(banks) * portBytes * clockHz;
+}
+
+Tick
+SramBufferParams::streamTicks(Bytes bytes) const
+{
+    hnlpu_assert(bytes >= 0, "negative stream size");
+    return toTicks(bytes / readBandwidth());
+}
+
+Tick
+SramBufferParams::accessLatencyTicks() const
+{
+    return toTicks(static_cast<double>(accessCycles) / clockHz);
+}
+
+} // namespace hnlpu

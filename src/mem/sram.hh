@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Banked on-chip Attention Buffer model (paper Section 4.3 / 7.1).
+ *
+ * 20,000 banks x 16 KB, 1W1R ports of 32-bit width: 320 MB capacity and
+ * 80 TB/s aggregate bandwidth at 1 GHz, 3-cycle access latency under
+ * worst-case PVT.  The model exposes capacity/bandwidth/latency and an
+ * access-time helper used by the VEX attention timing.
+ */
+
+#ifndef HNLPU_MEM_SRAM_HH
+#define HNLPU_MEM_SRAM_HH
+
+#include "common/units.hh"
+
+namespace hnlpu {
+
+/** Configuration of the banked attention buffer. */
+struct SramBufferParams
+{
+    std::size_t banks = 20000;
+    Bytes bankBytes = 16.0 * kKiB;
+    Bytes portBytes = 4.0;       //!< 32-bit 1W1R ports
+    double clockHz = 1.0e9;
+    std::size_t accessCycles = 3;
+
+    Bytes capacityBytes() const;
+    /** Aggregate read bandwidth (all banks streaming). */
+    BytesPerSecond readBandwidth() const;
+    /** Ticks to stream @p bytes assuming full banking. */
+    Tick streamTicks(Bytes bytes) const;
+    /** Fixed access latency in ticks. */
+    Tick accessLatencyTicks() const;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_MEM_SRAM_HH

@@ -1,0 +1,131 @@
+#include "model/partition.hh"
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace hnlpu {
+
+std::size_t
+SystemPartition::hiddenSlice() const
+{
+    return model.hiddenSize / gridCols;
+}
+
+std::size_t
+SystemPartition::queryHeadsPerColumn() const
+{
+    return model.queryHeads / gridCols;
+}
+
+std::size_t
+SystemPartition::kvHeadsPerColumn() const
+{
+    return model.kvHeads / gridCols;
+}
+
+std::size_t
+SystemPartition::expertsPerChip() const
+{
+    return ceilDiv(model.expertCount, chipCount());
+}
+
+std::uint64_t
+SystemPartition::paramsPerChip() const
+{
+    // Attention weights and experts divide across chips; the router is
+    // replicated on every chip (paper Section 5.1).
+    const std::uint64_t shared_per_layer = model.routerParamsPerLayer();
+    const std::uint64_t split_per_layer =
+        model.attentionParamsPerLayer() +
+        model.expertCount * model.paramsPerExpert();
+    const std::uint64_t embedding = model.embeddingParams();
+    return model.layerCount *
+               (shared_per_layer + ceilDiv<std::uint64_t>(
+                                       split_per_layer, chipCount())) +
+           ceilDiv<std::uint64_t>(embedding, chipCount());
+}
+
+namespace {
+
+/** FP8 activations on the wire. */
+constexpr double kActivationBytes = 1.0;
+
+} // namespace
+
+double
+SystemPartition::queryReduceBytes() const
+{
+    // Per-column query vector: heads_per_col * head_dim.
+    return kActivationBytes * queryHeadsPerColumn() * model.headDim;
+}
+
+double
+SystemPartition::kvReduceBytes() const
+{
+    return kActivationBytes * kvHeadsPerColumn() * model.headDim;
+}
+
+double
+SystemPartition::scoreReduceBytes(std::size_t context_per_chip) const
+{
+    // Z has shape (kv_heads_per_col, gqa_group, context_per_chip).
+    return kActivationBytes * kvHeadsPerColumn() * model.gqaGroupSize() *
+           context_per_chip;
+}
+
+double
+SystemPartition::attnOutReduceBytes() const
+{
+    // Partial attention output: (kv_heads_per_col, gqa_group, head_dim).
+    return kActivationBytes * kvHeadsPerColumn() * model.gqaGroupSize() *
+           model.headDim;
+}
+
+double
+SystemPartition::xoReduceBytes() const
+{
+    // Per-chip Xo partial slice of the hidden vector.
+    return kActivationBytes * hiddenSlice();
+}
+
+double
+SystemPartition::moeReduceBytes() const
+{
+    // Full hidden vector partial sums combined across all chips.
+    return kActivationBytes * model.hiddenSize;
+}
+
+void
+SystemPartition::validate() const
+{
+    hnlpu_assert(gridRows >= 1 && gridCols >= 1, "empty grid");
+    hnlpu_assert(model.hiddenSize % gridCols == 0,
+                 model.name, ": hidden size must tile over columns");
+    hnlpu_assert(model.queryHeads % gridCols == 0,
+                 model.name, ": query heads must tile over columns");
+    hnlpu_assert(model.kvHeads % gridCols == 0,
+                 model.name, ": KV heads must tile over columns");
+}
+
+SystemPartition
+makePartition(const TransformerConfig &model, std::size_t grid_rows,
+              std::size_t grid_cols)
+{
+    SystemPartition part;
+    part.model = model;
+    part.gridRows = grid_rows;
+    part.gridCols = grid_cols;
+    part.validate();
+    return part;
+}
+
+std::size_t
+suggestChipCount(const TransformerConfig &model,
+                 std::uint64_t params_per_chip)
+{
+    hnlpu_assert(params_per_chip > 0, "params_per_chip must be positive");
+    return std::max<std::size_t>(
+        1, ceilDiv<std::uint64_t>(model.totalParams(), params_per_chip));
+}
+
+} // namespace hnlpu

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Model-to-chip partitioning (paper Section 4.2 / 5.1).
+ *
+ * HNLPU arranges chips in a row-column fully-connected grid (4x4 for
+ * gpt-oss 120 B).  The Wqkv matrices are column-partitioned, Wo is
+ * row-partitioned, experts are distributed round-robin across all chips
+ * and the router is replicated.  This module derives all per-chip tensor
+ * shapes and the collective message sizes that the dataflow simulator
+ * uses, plus a chip-count suggestion for arbitrary models (Table 4).
+ */
+
+#ifndef HNLPU_MODEL_PARTITION_HH
+#define HNLPU_MODEL_PARTITION_HH
+
+#include <cstdint>
+
+#include "model/transformer_config.hh"
+
+namespace hnlpu {
+
+/** The placement of one model onto an HNLPU chip grid. */
+struct SystemPartition
+{
+    TransformerConfig model;
+    std::size_t gridRows = 4;
+    std::size_t gridCols = 4;
+
+    std::size_t chipCount() const { return gridRows * gridCols; }
+
+    // -- per-chip shares --------------------------------------------------
+
+    /** Hidden-dimension slice held by each chip of a column (720). */
+    std::size_t hiddenSlice() const;
+    /** Query heads mapped to each column group (16). */
+    std::size_t queryHeadsPerColumn() const;
+    /** KV heads mapped to each column group (2). */
+    std::size_t kvHeadsPerColumn() const;
+    /** Experts resident on each chip (8). */
+    std::size_t expertsPerChip() const;
+    /** Weight parameters hardwired on each chip. */
+    std::uint64_t paramsPerChip() const;
+
+    // -- collective message sizes (bytes, FP8 activations) ----------------
+
+    /** Column all-reduce payload for the query partial sums. */
+    double queryReduceBytes() const;
+    /** Column reduce payload for one new K (or V) head group. */
+    double kvReduceBytes() const;
+    /** Column all-reduce payload for attention scores (per group). */
+    double scoreReduceBytes(std::size_t context_per_chip) const;
+    /** Column all-reduce payload for partial attention outputs. */
+    double attnOutReduceBytes() const;
+    /** Row all-reduce + column all-gather payload for Xo. */
+    double xoReduceBytes() const;
+    /** All-chip all-reduce payload for the MoE down projection. */
+    double moeReduceBytes() const;
+
+    /** Consistency checks; fatal when the model does not tile. */
+    void validate() const;
+};
+
+/** Build the paper's 4x4 partition for a model. */
+SystemPartition makePartition(const TransformerConfig &model,
+                              std::size_t grid_rows = 4,
+                              std::size_t grid_cols = 4);
+
+/**
+ * Suggest a chip count for a model given the hardwire capacity of one
+ * chip in weight parameters (derived from the physical model).  Chip
+ * counts are rounded up to the next arrangeable grid (multiples of the
+ * column count, minimum 1).
+ */
+std::size_t suggestChipCount(const TransformerConfig &model,
+                             std::uint64_t params_per_chip);
+
+} // namespace hnlpu
+
+#endif // HNLPU_MODEL_PARTITION_HH

@@ -1,0 +1,144 @@
+#include "model/transformer_config.hh"
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+std::size_t
+TransformerConfig::gqaGroupSize() const
+{
+    hnlpu_assert(kvHeads > 0 && queryHeads % kvHeads == 0,
+                 "query heads must divide into KV heads");
+    return queryHeads / kvHeads;
+}
+
+std::uint64_t
+TransformerConfig::attentionParamsPerLayer() const
+{
+    const std::uint64_t d = hiddenSize;
+    const std::uint64_t q = qProjectionDim();
+    const std::uint64_t kv = kvProjectionDim();
+    // Wq (d x q), Wk (d x kv), Wv (d x kv), Wo (q x d).
+    return d * q + 2 * d * kv + q * d;
+}
+
+std::uint64_t
+TransformerConfig::paramsPerExpert() const
+{
+    // Up, gate and down projections.
+    return 3ULL * hiddenSize * expertHidden;
+}
+
+std::uint64_t
+TransformerConfig::routerParamsPerLayer() const
+{
+    return expertCount > 1 ? std::uint64_t(hiddenSize) * expertCount : 0;
+}
+
+std::uint64_t
+TransformerConfig::paramsPerLayer() const
+{
+    return attentionParamsPerLayer() + expertCount * paramsPerExpert() +
+           routerParamsPerLayer();
+}
+
+std::uint64_t
+TransformerConfig::embeddingParams() const
+{
+    // Separate embedding and unembedding matrices.
+    return 2ULL * hiddenSize * vocabSize;
+}
+
+std::uint64_t
+TransformerConfig::totalParams() const
+{
+    return layerCount * paramsPerLayer() + embeddingParams();
+}
+
+std::uint64_t
+TransformerConfig::activeParams() const
+{
+    const std::uint64_t per_layer = attentionParamsPerLayer() +
+                                    routerParamsPerLayer() +
+                                    activeExperts * paramsPerExpert();
+    // The unembedding GEMV touches all vocab x hidden weights every
+    // token; the input embedding is a single-row lookup and is excluded
+    // (this matches the published ~5.1 B active figure for gpt-oss).
+    return layerCount * per_layer + embeddingParams() / 2;
+}
+
+double
+TransformerConfig::totalWeightBytes() const
+{
+    return static_cast<double>(totalParams()) * weightBits / 8.0;
+}
+
+double
+TransformerConfig::kvBytesPerTokenPerLayer() const
+{
+    // K and V, one byte per element (FP8 cache entries).
+    return 2.0 * kvProjectionDim();
+}
+
+double
+TransformerConfig::kvBytesPerToken() const
+{
+    return kvBytesPerTokenPerLayer() * layerCount;
+}
+
+std::size_t
+TransformerConfig::slidingLayerCount() const
+{
+    if (slidingWindow == 0)
+        return 0;
+    return static_cast<std::size_t>(
+        double(layerCount) * slidingLayerFraction + 1e-9);
+}
+
+std::size_t
+TransformerConfig::fullAttentionLayerCount() const
+{
+    return layerCount - slidingLayerCount();
+}
+
+bool
+TransformerConfig::isSlidingLayer(std::size_t layer) const
+{
+    if (slidingWindow == 0 || slidingLayerCount() == 0)
+        return false;
+    // Bresenham spacing: spreads sliding layers evenly (gpt-oss
+    // alternates 1:1, which fraction 0.5 reproduces exactly).
+    const double f = slidingLayerFraction;
+    const auto before = static_cast<std::size_t>(double(layer) * f +
+                                                 1e-9);
+    const auto after = static_cast<std::size_t>(double(layer + 1) * f +
+                                                1e-9);
+    return after > before;
+}
+
+std::size_t
+TransformerConfig::layerContext(std::size_t layer,
+                                std::size_t context) const
+{
+    return isSlidingLayer(layer) ? std::min(context, slidingWindow)
+                                 : context;
+}
+
+void
+TransformerConfig::validate() const
+{
+    hnlpu_assert(hiddenSize > 0, name, ": hiddenSize");
+    hnlpu_assert(layerCount > 0, name, ": layerCount");
+    hnlpu_assert(queryHeads > 0 && kvHeads > 0, name, ": heads");
+    hnlpu_assert(queryHeads % kvHeads == 0, name, ": GQA grouping");
+    hnlpu_assert(headDim > 0, name, ": headDim");
+    hnlpu_assert(vocabSize > 0, name, ": vocabSize");
+    hnlpu_assert(expertCount >= 1, name, ": expertCount");
+    hnlpu_assert(activeExperts >= 1 && activeExperts <= expertCount,
+                 name, ": activeExperts");
+    hnlpu_assert(expertHidden > 0, name, ": expertHidden");
+    hnlpu_assert(weightBits >= 1 && weightBits <= 16, name,
+                 ": weightBits");
+}
+
+} // namespace hnlpu

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Transformer model descriptors.
+ *
+ * A TransformerConfig captures the architectural hyper-parameters the
+ * HNLPU needs: tensor shapes (which become HN array dimensions and
+ * collective message sizes), MoE structure (which drives circuit activity
+ * and power) and vocabulary (embedding/unembedding HBM traffic).  The
+ * default descriptor is gpt-oss 120 B, the model the paper hardwires.
+ */
+
+#ifndef HNLPU_MODEL_TRANSFORMER_CONFIG_HH
+#define HNLPU_MODEL_TRANSFORMER_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hnlpu {
+
+/** Architectural description of a (possibly MoE) decoder-only LLM. */
+struct TransformerConfig
+{
+    std::string name = "unnamed";
+
+    std::size_t hiddenSize = 0;    //!< model width d
+    std::size_t layerCount = 0;    //!< transformer blocks
+    std::size_t queryHeads = 0;    //!< attention query heads
+    std::size_t kvHeads = 0;       //!< GQA key/value heads
+    std::size_t headDim = 0;       //!< per-head dimension
+    std::size_t vocabSize = 0;     //!< tokenizer vocabulary
+
+    // Feed-forward / Mixture-of-Experts.
+    std::size_t expertCount = 1;   //!< 1 == dense FFN
+    std::size_t activeExperts = 1; //!< top-k routed experts
+    std::size_t expertHidden = 0;  //!< FFN intermediate size
+
+    unsigned weightBits = 4;       //!< quantised weight width
+
+    // Sliding-window attention (gpt-oss alternates full-attention and
+    // 128-token sliding-window layers 1:1).
+    std::size_t slidingWindow = 0;    //!< 0 == no sliding layers
+    double slidingLayerFraction = 0.0;
+
+    /** Layers with banded (sliding-window) attention. */
+    std::size_t slidingLayerCount() const;
+    /** Layers attending over the full context. */
+    std::size_t fullAttentionLayerCount() const;
+    /** Effective context a given layer attends over. */
+    std::size_t layerContext(std::size_t layer,
+                             std::size_t context) const;
+    /** True when @p layer uses the sliding window. */
+    bool isSlidingLayer(std::size_t layer) const;
+
+    // -- derived shape helpers -------------------------------------------
+
+    std::size_t qProjectionDim() const { return queryHeads * headDim; }
+    std::size_t kvProjectionDim() const { return kvHeads * headDim; }
+    /** Query heads sharing one KV head. */
+    std::size_t gqaGroupSize() const;
+
+    /** Weight parameters of one transformer block's attention. */
+    std::uint64_t attentionParamsPerLayer() const;
+    /** Weight parameters of one expert (up + gate + down). */
+    std::uint64_t paramsPerExpert() const;
+    /** Router parameters of one block (0 for dense models). */
+    std::uint64_t routerParamsPerLayer() const;
+    /** All weight parameters of one block. */
+    std::uint64_t paramsPerLayer() const;
+    /** Embedding + unembedding parameters. */
+    std::uint64_t embeddingParams() const;
+    /** Total weight parameters of the model. */
+    std::uint64_t totalParams() const;
+    /** Parameters touched per token (active experts only). */
+    std::uint64_t activeParams() const;
+
+    /** Total weight bytes at the configured quantisation. */
+    double totalWeightBytes() const;
+    /** Bytes of K+V cache per token per layer (8-bit entries). */
+    double kvBytesPerTokenPerLayer() const;
+    /** Bytes of K+V cache per token across all layers. */
+    double kvBytesPerToken() const;
+
+    /** Sanity checks; fatal on inconsistent configs. */
+    void validate() const;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_MODEL_TRANSFORMER_CONFIG_HH

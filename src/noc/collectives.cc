@@ -1,0 +1,177 @@
+#include "noc/collectives.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+namespace {
+
+void
+checkGroup(const Fabric &fabric, const std::vector<ChipId> &group)
+{
+    hnlpu_assert(!group.empty(), "empty collective group");
+    // Every ordered pair must share a dedicated link (row or column
+    // group property).
+    for (ChipId a : group) {
+        for (ChipId b : group) {
+            if (a != b) {
+                hnlpu_assert(fabric.connected(a, b),
+                             "group members ", a, " and ", b,
+                             " are not directly linked");
+            }
+        }
+    }
+}
+
+} // namespace
+
+Tick
+timedBroadcast(Fabric &fabric, ChipId root,
+               const std::vector<ChipId> &group, Bytes payload,
+               Tick ready)
+{
+    checkGroup(fabric, group);
+    Tick done = ready;
+    for (ChipId dst : group) {
+        if (dst == root)
+            continue;
+        done = std::max(done, fabric.send(root, dst, payload, ready));
+    }
+    return done;
+}
+
+Tick
+timedReduce(Fabric &fabric, const std::vector<ChipId> &group, ChipId root,
+            Bytes payload, Tick ready)
+{
+    checkGroup(fabric, group);
+    Tick done = ready;
+    for (ChipId src : group) {
+        if (src == root)
+            continue;
+        done = std::max(done, fabric.send(src, root, payload, ready));
+    }
+    return done;
+}
+
+Tick
+timedAllReduce(Fabric &fabric, const std::vector<ChipId> &group,
+               Bytes payload, Tick ready)
+{
+    checkGroup(fabric, group);
+    Tick done = ready;
+    for (ChipId src : group) {
+        for (ChipId dst : group) {
+            if (src != dst) {
+                done = std::max(done,
+                                fabric.send(src, dst, payload, ready));
+            }
+        }
+    }
+    return done;
+}
+
+Tick
+timedAllGather(Fabric &fabric, const std::vector<ChipId> &group,
+               Bytes shard, Tick ready)
+{
+    // Same direct exchange as all-reduce; each member contributes its
+    // own shard instead of a partial sum.
+    return timedAllReduce(fabric, group, shard, ready);
+}
+
+Tick
+timedScatter(Fabric &fabric, ChipId root,
+             const std::vector<ChipId> &group, Bytes shard, Tick ready)
+{
+    // Distinct shards, same wire pattern as broadcast.
+    return timedBroadcast(fabric, root, group, shard, ready);
+}
+
+Tick
+timedGridAllReduce(Fabric &fabric, Bytes payload, Tick ready)
+{
+    // Phase 1: all-reduce within every row (concurrently).
+    Tick row_done = ready;
+    for (std::size_t r = 0; r < fabric.rows(); ++r) {
+        std::vector<ChipId> row_group;
+        for (std::size_t c = 0; c < fabric.cols(); ++c)
+            row_group.push_back(fabric.chipAt(r, c));
+        row_done = std::max(row_done, timedAllReduce(fabric, row_group,
+                                                     payload, ready));
+    }
+    // Phase 2: all-reduce within every column.
+    Tick done = row_done;
+    for (std::size_t c = 0; c < fabric.cols(); ++c) {
+        std::vector<ChipId> col_group;
+        for (std::size_t r = 0; r < fabric.rows(); ++r)
+            col_group.push_back(fabric.chipAt(r, c));
+        done = std::max(done, timedAllReduce(fabric, col_group, payload,
+                                             row_done));
+    }
+    return done;
+}
+
+void
+dataAllReduce(std::vector<ChipVec> &per_chip,
+              const std::vector<ChipId> &group)
+{
+    hnlpu_assert(!group.empty(), "empty group");
+    const std::size_t n = per_chip[group.front()].size();
+    ChipVec sum(n, 0.0);
+    for (ChipId chip : group) {
+        hnlpu_assert(per_chip[chip].size() == n,
+                     "all-reduce shape mismatch");
+        for (std::size_t i = 0; i < n; ++i)
+            sum[i] += per_chip[chip][i];
+    }
+    for (ChipId chip : group)
+        per_chip[chip] = sum;
+}
+
+void
+dataBroadcast(std::vector<ChipVec> &per_chip, ChipId root,
+              const std::vector<ChipId> &group)
+{
+    for (ChipId chip : group)
+        per_chip[chip] = per_chip[root];
+}
+
+void
+dataAllGather(std::vector<ChipVec> &per_chip,
+              const std::vector<ChipId> &group)
+{
+    ChipVec gathered;
+    for (ChipId chip : group) {
+        gathered.insert(gathered.end(), per_chip[chip].begin(),
+                        per_chip[chip].end());
+    }
+    for (ChipId chip : group)
+        per_chip[chip] = gathered;
+}
+
+void
+dataGridAllReduce(std::vector<ChipVec> &per_chip, std::size_t rows,
+                  std::size_t cols)
+{
+    hnlpu_assert(per_chip.size() == rows * cols, "grid shape mismatch");
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::vector<ChipId> group;
+        for (std::size_t c = 0; c < cols; ++c)
+            group.push_back(r * cols + c);
+        dataAllReduce(per_chip, group);
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+        std::vector<ChipId> group;
+        for (std::size_t r = 0; r < rows; ++r)
+            group.push_back(r * cols + c);
+        dataAllReduce(per_chip, group);
+    }
+    // After the column phase every chip holds sum(rows) of row sums ==
+    // the global sum times 1 (each row phase already summed the row, so
+    // the column phase over per-row sums yields the global total).
+}
+
+} // namespace hnlpu

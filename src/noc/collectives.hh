@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Collective operations of the Interconnect Engine (Section 4.3).
+ *
+ * Two facets are modelled:
+ *
+ *  - *Timed* collectives schedule real messages onto the fabric's
+ *    directed-link timelines and return the tick at which every group
+ *    member holds the result.  The fully-connected row/column topology
+ *    admits single-step direct algorithms (every member exchanges with
+ *    every other member over dedicated links); the all-chip all-reduce
+ *    composes a row phase and a column phase.
+ *
+ *  - *Functional* collectives operate on per-chip data vectors and are
+ *    used by the multi-chip functional dataflow tests to prove the
+ *    partitioned computation equals the monolithic one.
+ */
+
+#ifndef HNLPU_NOC_COLLECTIVES_HH
+#define HNLPU_NOC_COLLECTIVES_HH
+
+#include <vector>
+
+#include "noc/fabric.hh"
+
+namespace hnlpu {
+
+// -- timed collectives ----------------------------------------------------
+
+/** Root sends @p payload to every other group member. */
+Tick timedBroadcast(Fabric &fabric, ChipId root,
+                    const std::vector<ChipId> &group, Bytes payload,
+                    Tick ready);
+
+/** Every non-root member sends @p payload to the root. */
+Tick timedReduce(Fabric &fabric, const std::vector<ChipId> &group,
+                 ChipId root, Bytes payload, Tick ready);
+
+/** Direct all-to-all exchange; all members finish with the result. */
+Tick timedAllReduce(Fabric &fabric, const std::vector<ChipId> &group,
+                    Bytes payload, Tick ready);
+
+/** All-gather: same wire pattern as all-reduce with per-chip shards. */
+Tick timedAllGather(Fabric &fabric, const std::vector<ChipId> &group,
+                    Bytes shard, Tick ready);
+
+/** Root distributes distinct shards to every other member. */
+Tick timedScatter(Fabric &fabric, ChipId root,
+                  const std::vector<ChipId> &group, Bytes shard,
+                  Tick ready);
+
+/**
+ * All-chip all-reduce on the whole grid: row-group all-reduce followed
+ * by column-group all-reduce (no diagonal links exist).
+ */
+Tick timedGridAllReduce(Fabric &fabric, Bytes payload, Tick ready);
+
+// -- functional collectives ------------------------------------------------
+
+using ChipVec = std::vector<double>;
+
+/** Element-wise sum over the group; every member gets the sum. */
+void dataAllReduce(std::vector<ChipVec> &per_chip,
+                   const std::vector<ChipId> &group);
+
+/** Copy the root's vector to every group member. */
+void dataBroadcast(std::vector<ChipVec> &per_chip, ChipId root,
+                   const std::vector<ChipId> &group);
+
+/** Concatenate group shards (group order); every member gets it. */
+void dataAllGather(std::vector<ChipVec> &per_chip,
+                   const std::vector<ChipId> &group);
+
+/** Two-phase all-chip all-reduce over a rows x cols grid. */
+void dataGridAllReduce(std::vector<ChipVec> &per_chip, std::size_t rows,
+                       std::size_t cols);
+
+} // namespace hnlpu
+
+#endif // HNLPU_NOC_COLLECTIVES_HH

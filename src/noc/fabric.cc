@@ -1,0 +1,109 @@
+#include "noc/fabric.hh"
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+Fabric::Fabric(std::size_t rows, std::size_t cols, CxlLinkParams params)
+    : rows_(rows), cols_(cols), params_(params)
+{
+    hnlpu_assert(rows_ >= 1 && cols_ >= 1, "empty fabric");
+    // Allocate a dense (src, dst) table; unconnected pairs stay unused.
+    links_.reserve(chipCount() * chipCount());
+    for (ChipId src = 0; src < chipCount(); ++src) {
+        for (ChipId dst = 0; dst < chipCount(); ++dst) {
+            links_.emplace_back("link." + std::to_string(src) + "->" +
+                                std::to_string(dst));
+        }
+    }
+}
+
+ChipId
+Fabric::chipAt(std::size_t row, std::size_t col) const
+{
+    hnlpu_assert(row < rows_ && col < cols_, "grid position range");
+    return row * cols_ + col;
+}
+
+bool
+Fabric::connected(ChipId src, ChipId dst) const
+{
+    if (src == dst || src >= chipCount() || dst >= chipCount())
+        return false;
+    return rowOf(src) == rowOf(dst) || colOf(src) == colOf(dst);
+}
+
+std::vector<ChipId>
+Fabric::rowPeers(ChipId chip) const
+{
+    std::vector<ChipId> peers;
+    const std::size_t row = rowOf(chip);
+    for (std::size_t col = 0; col < cols_; ++col) {
+        const ChipId other = chipAt(row, col);
+        if (other != chip)
+            peers.push_back(other);
+    }
+    return peers;
+}
+
+std::vector<ChipId>
+Fabric::colPeers(ChipId chip) const
+{
+    std::vector<ChipId> peers;
+    const std::size_t col = colOf(chip);
+    for (std::size_t row = 0; row < rows_; ++row) {
+        const ChipId other = chipAt(row, col);
+        if (other != chip)
+            peers.push_back(other);
+    }
+    return peers;
+}
+
+std::size_t
+Fabric::linkIndex(ChipId src, ChipId dst) const
+{
+    hnlpu_assert(connected(src, dst), "no link ", src, "->", dst);
+    return src * chipCount() + dst;
+}
+
+TimelineResource &
+Fabric::link(ChipId src, ChipId dst)
+{
+    return links_[linkIndex(src, dst)];
+}
+
+Tick
+Fabric::send(ChipId src, ChipId dst, Bytes payload, Tick ready)
+{
+    TimelineResource &l = link(src, dst);
+    const Tick serialization = params_.serializationTicks(payload);
+    const Tick start = l.acquire(ready, serialization);
+    return start + serialization + params_.latencyTicks();
+}
+
+Tick
+Fabric::totalLinkBusyTicks() const
+{
+    Tick total = 0;
+    for (const auto &l : links_)
+        total += l.busyTicks();
+    return total;
+}
+
+std::uint64_t
+Fabric::totalMessages() const
+{
+    std::uint64_t total = 0;
+    for (const auto &l : links_)
+        total += l.requests();
+    return total;
+}
+
+void
+Fabric::reset()
+{
+    for (auto &l : links_)
+        l.reset();
+}
+
+} // namespace hnlpu

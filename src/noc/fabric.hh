@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Row-column fully-connected fabric (paper Fig. 9 (a)).
+ *
+ * Each chip has a dedicated, directed point-to-point link to every other
+ * chip in its row and every other chip in its column; there is no router
+ * and no link between chips that share neither.  The fabric owns one
+ * TimelineResource per directed link so the pipeline simulator can model
+ * contention from concurrent in-flight tokens, and provides the timed
+ * collective operations of the Interconnect Engine (Section 4.3).
+ */
+
+#ifndef HNLPU_NOC_FABRIC_HH
+#define HNLPU_NOC_FABRIC_HH
+
+#include <vector>
+
+#include "noc/link.hh"
+#include "sim/resource.hh"
+
+namespace hnlpu {
+
+/** Identifies a chip by grid position (row-major id). */
+using ChipId = std::size_t;
+
+/** The 2D grid of chips with row/column point-to-point links. */
+class Fabric
+{
+  public:
+    Fabric(std::size_t rows, std::size_t cols, CxlLinkParams params);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t chipCount() const { return rows_ * cols_; }
+    const CxlLinkParams &params() const { return params_; }
+
+    ChipId chipAt(std::size_t row, std::size_t col) const;
+    std::size_t rowOf(ChipId chip) const { return chip / cols_; }
+    std::size_t colOf(ChipId chip) const { return chip % cols_; }
+
+    /** True when a dedicated link src->dst exists. */
+    bool connected(ChipId src, ChipId dst) const;
+
+    /** Chips in the same row as @p chip, excluding it. */
+    std::vector<ChipId> rowPeers(ChipId chip) const;
+    /** Chips in the same column as @p chip, excluding it. */
+    std::vector<ChipId> colPeers(ChipId chip) const;
+
+    /** Directed link resource src->dst (fatal when not connected). */
+    TimelineResource &link(ChipId src, ChipId dst);
+
+    /**
+     * Send one message src->dst starting no earlier than @p ready.
+     * The link is occupied for the serialisation time; the payload is
+     * fully received `latency` later.
+     * @return receive-complete tick
+     */
+    Tick send(ChipId src, ChipId dst, Bytes payload, Tick ready);
+
+    /** Links per chip (row peers + column peers). */
+    std::size_t linksPerChip() const { return rows_ - 1 + cols_ - 1; }
+
+    /** Aggregate busy ticks across all links (power accounting). */
+    Tick totalLinkBusyTicks() const;
+
+    /** Total messages sent. */
+    std::uint64_t totalMessages() const;
+
+    /** Clear all link timelines. */
+    void reset();
+
+  private:
+    std::size_t linkIndex(ChipId src, ChipId dst) const;
+
+    std::size_t rows_;
+    std::size_t cols_;
+    CxlLinkParams params_;
+    std::vector<TimelineResource> links_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_NOC_FABRIC_HH

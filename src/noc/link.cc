@@ -1,0 +1,28 @@
+#include "noc/link.hh"
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+Tick
+CxlLinkParams::serializationTicks(Bytes payload) const
+{
+    hnlpu_assert(bandwidth > 0 && efficiency > 0, "bad link params");
+    const Seconds s = (payload + perMessageOverhead) /
+                      (bandwidth * efficiency);
+    return toTicks(s);
+}
+
+Tick
+CxlLinkParams::messageTicks(Bytes payload) const
+{
+    return latencyTicks() + serializationTicks(payload);
+}
+
+Tick
+CxlLinkParams::latencyTicks() const
+{
+    return toTicks(latency);
+}
+
+} // namespace hnlpu

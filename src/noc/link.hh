@@ -1,0 +1,42 @@
+/**
+ * @file
+ * CXL 3.0 point-to-point link model.
+ *
+ * The paper interconnects the 16 compute modules with CXL 3.0 over PCIe
+ * PHY: < 100 ns latency, 128 GB/s per x16 link (Section 4.2).  We model a
+ * link as propagation latency plus serialisation at an effective
+ * bandwidth (raw bandwidth derated by protocol efficiency) with a fixed
+ * per-message framing overhead.  Effective-bandwidth and overhead values
+ * follow CXL.io flit accounting and are exposed for sensitivity sweeps.
+ */
+
+#ifndef HNLPU_NOC_LINK_HH
+#define HNLPU_NOC_LINK_HH
+
+#include "common/units.hh"
+
+namespace hnlpu {
+
+/** Parameters of one directed CXL link. */
+struct CxlLinkParams
+{
+    /** Raw x16 link bandwidth. */
+    BytesPerSecond bandwidth = 128e9;
+    /** Protocol efficiency (flit framing, CRC, credits). */
+    double efficiency = 0.65;
+    /** End-to-end propagation + PHY + protocol latency. */
+    Seconds latency = 100e-9;
+    /** Fixed per-message framing bytes (header flits, sync). */
+    Bytes perMessageOverhead = 256.0;
+
+    /** Ticks the link is occupied serialising @p payload bytes. */
+    Tick serializationTicks(Bytes payload) const;
+    /** Ticks from send start to full receipt (no contention). */
+    Tick messageTicks(Bytes payload) const;
+    /** Propagation latency in ticks. */
+    Tick latencyTicks() const;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_NOC_LINK_HH

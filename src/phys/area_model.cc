@@ -1,0 +1,40 @@
+#include "phys/area_model.hh"
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+AreaModel::AreaModel(TechnologyParams tech) : tech_(tech) {}
+
+AreaMm2
+AreaModel::sramWeightStore(double weights) const
+{
+    // FP4: half a byte per weight; plain macro (no fine banking).
+    return tech_.sramAreaMm2(weights * 0.5, /*fine_banked=*/false);
+}
+
+AreaMm2
+AreaModel::cellEmbedding(double weights) const
+{
+    return weights * tech_.areaCePerWeightUm2 * 1e-6;
+}
+
+AreaMm2
+AreaModel::metalEmbedding(double weights) const
+{
+    return weights * tech_.areaMePerWeightUm2 * 1e-6;
+}
+
+AreaMm2
+AreaModel::cmacStrawman(double weights) const
+{
+    return tech_.logicAreaMm2(weights * tech_.cmacStrawmanTransistors);
+}
+
+double
+AreaModel::meDensityGain() const
+{
+    return tech_.areaCePerWeightUm2 / tech_.areaMePerWeightUm2;
+}
+
+} // namespace hnlpu

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Silicon-area model for the three weight-embedding methodologies
+ * (paper Section 3 / Fig. 12) and the Section 2.2 strawman.
+ */
+
+#ifndef HNLPU_PHYS_AREA_MODEL_HH
+#define HNLPU_PHYS_AREA_MODEL_HH
+
+#include "phys/technology.hh"
+
+namespace hnlpu {
+
+/** Area accounting for a weight block of a given parameter count. */
+class AreaModel
+{
+  public:
+    explicit AreaModel(TechnologyParams tech);
+
+    /** SRAM storing @p weights FP4 params (the MA baseline's store). */
+    AreaMm2 sramWeightStore(double weights) const;
+
+    /** Cell-Embedding: one constant multiplier per weight. */
+    AreaMm2 cellEmbedding(double weights) const;
+
+    /** Metal-Embedding: parameter-independent HN silicon. */
+    AreaMm2 metalEmbedding(double weights) const;
+
+    /** Naive CMAC-grid strawman of Section 2.2 (208 Tr / weight). */
+    AreaMm2 cmacStrawman(double weights) const;
+
+    /** ME density advantage over CE (Fig. 12: about 15x). */
+    double meDensityGain() const;
+
+    const TechnologyParams &tech() const { return tech_; }
+
+  private:
+    TechnologyParams tech_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_PHYS_AREA_MODEL_HH

@@ -1,0 +1,90 @@
+#include "phys/chip_floorplan.hh"
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+ChipFloorplan::ChipFloorplan(const SystemPartition &partition,
+                             TechnologyParams tech, ChipBlockParams blocks)
+    : partition_(partition), tech_(tech), blocks_(blocks)
+{
+}
+
+AreaMm2
+ChipFloorplan::hnArrayArea() const
+{
+    AreaModel area(tech_);
+    return area.metalEmbedding(double(partition_.paramsPerChip()));
+}
+
+std::vector<ChipComponent>
+ChipFloorplan::components(const ChipActivity &activity) const
+{
+    const AreaMm2 hn_area = hnArrayArea();
+    // HN dynamic power density at full activity, calibrated so the MoE
+    // sparsity of gpt-oss (4.9% active) lands on Table 1's 76.92 W.
+    const double hn_dyn_density = 2.335; // W/mm^2 at 100% activity
+    const Watts hn_power =
+        hn_area * tech_.leakageWPerMm2 +
+        hn_area * hn_dyn_density * activity.hnActiveFraction;
+
+    const AreaMm2 buffer_area =
+        tech_.sramAreaMm2(blocks_.bufferBytes, /*fine_banked=*/true);
+    const Watts buffer_power =
+        buffer_area * tech_.leakageWPerMm2 +
+        blocks_.bufferDynamic * activity.bufferUtilization;
+
+    auto block_power = [&](AreaMm2 area, Watts dyn, double util) {
+        return area * tech_.leakageWPerMm2 + dyn * util;
+    };
+
+    return {
+        {"HN Array", hn_area, hn_power},
+        {"VEX", blocks_.vexArea,
+         block_power(blocks_.vexArea, blocks_.vexDynamic,
+                     activity.vexUtilization)},
+        {"Control Unit", blocks_.controlArea,
+         block_power(blocks_.controlArea, blocks_.controlDynamic, 1.0)},
+        {"Attention Buffer", buffer_area, buffer_power},
+        {"Interconnect Engine", blocks_.interconnectArea,
+         block_power(blocks_.interconnectArea,
+                     blocks_.interconnectDynamic,
+                     activity.interconnectUtilization)},
+        {"HBM PHY", blocks_.hbmPhyArea,
+         block_power(blocks_.hbmPhyArea, blocks_.hbmPhyDynamic,
+                     activity.hbmPhyUtilization)},
+    };
+}
+
+AreaMm2
+ChipFloorplan::totalArea() const
+{
+    AreaMm2 total = 0;
+    for (const auto &c : components())
+        total += c.area;
+    return total;
+}
+
+Watts
+ChipFloorplan::totalPower(const ChipActivity &activity) const
+{
+    Watts total = 0;
+    for (const auto &c : components(activity))
+        total += c.power;
+    return total;
+}
+
+AreaMm2
+ChipFloorplan::systemSiliconArea() const
+{
+    return totalArea() * double(partition_.chipCount());
+}
+
+Watts
+ChipFloorplan::systemPower(const ChipActivity &activity) const
+{
+    return totalPower(activity) * double(partition_.chipCount()) *
+           blocks_.systemOverhead;
+}
+
+} // namespace hnlpu

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Single-chip floorplan and power breakdown (paper Table 1).
+ *
+ * A chip comprises the HN Array, VEX unit, Control Unit, Attention
+ * Buffer, Interconnect Engine and HBM PHY.  The HN array area follows
+ * the Metal-Embedding area model over the chip's weight share; the
+ * remaining components are characterised blocks whose areas are fixed by
+ * the 5 nm implementation and whose powers scale with utilisation.
+ * With nominal utilisation and the gpt-oss 16-chip partition the model
+ * reproduces Table 1: 827.08 mm^2 and 308.39 W per chip.
+ */
+
+#ifndef HNLPU_PHYS_CHIP_FLOORPLAN_HH
+#define HNLPU_PHYS_CHIP_FLOORPLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "model/partition.hh"
+#include "phys/area_model.hh"
+
+namespace hnlpu {
+
+/** One named block of the floorplan. */
+struct ChipComponent
+{
+    std::string name;
+    AreaMm2 area = 0;
+    Watts power = 0;
+};
+
+/** Utilisation factors driving the power model. */
+struct ChipActivity
+{
+    /** Fraction of hardwired weights toggling per cycle (MoE sparsity:
+     *  active / total parameters). */
+    double hnActiveFraction = 0.0489;
+    double vexUtilization = 1.0;
+    double bufferUtilization = 1.0;
+    double interconnectUtilization = 1.0;
+    double hbmPhyUtilization = 1.0;
+};
+
+/** Calibrated block characteristics (area mm^2 / dynamic power W). */
+struct ChipBlockParams
+{
+    AreaMm2 vexArea = 27.87;
+    Watts vexDynamic = 32.53;
+    AreaMm2 controlArea = 0.02;
+    Watts controlDynamic = 0.004;
+    AreaMm2 interconnectArea = 37.92;
+    Watts interconnectDynamic = 48.89;
+    AreaMm2 hbmPhyArea = 52.0;
+    Watts hbmPhyDynamic = 61.96;
+    /** Attention-buffer dynamic power at full streaming bandwidth. */
+    Watts bufferDynamic = 83.01;
+    /** Attention-buffer capacity (20,000 x 16 KB). */
+    Bytes bufferBytes = 20000.0 * 16.0 * 1024.0;
+    /** Module-level overhead (VRMs, fans, board) applied system-wide. */
+    double systemOverhead = 1.4;
+};
+
+/** The assembled floorplan of one HNLPU chip. */
+class ChipFloorplan
+{
+  public:
+    ChipFloorplan(const SystemPartition &partition,
+                  TechnologyParams tech,
+                  ChipBlockParams blocks = ChipBlockParams{});
+
+    /** Component list in Table 1 order. */
+    std::vector<ChipComponent> components(
+        const ChipActivity &activity = ChipActivity{}) const;
+
+    AreaMm2 totalArea() const;
+    Watts totalPower(const ChipActivity &activity = ChipActivity{}) const;
+
+    /** Whole-system silicon area (all chips). */
+    AreaMm2 systemSiliconArea() const;
+    /** Whole-system power including module overhead. */
+    Watts systemPower(const ChipActivity &activity = ChipActivity{}) const;
+
+    /** HN array area alone (weight share via Metal-Embedding). */
+    AreaMm2 hnArrayArea() const;
+
+    const SystemPartition &partition() const { return partition_; }
+    const ChipBlockParams &blocks() const { return blocks_; }
+    const TechnologyParams &tech() const { return tech_; }
+
+  private:
+    SystemPartition partition_;
+    TechnologyParams tech_;
+    ChipBlockParams blocks_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_PHYS_CHIP_FLOORPLAN_HH

@@ -1,0 +1,81 @@
+#include "phys/energy_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace hnlpu {
+
+OperatorModel::OperatorModel(TechnologyParams tech,
+                             std::size_t ma_macs_per_cycle)
+    : tech_(tech), area_(tech), maMacsPerCycle_(ma_macs_per_cycle)
+{
+    hnlpu_assert(maMacsPerCycle_ > 0, "MA needs at least one MAC");
+}
+
+Joules
+OperatorModel::leakageEnergy(AreaMm2 area, double cycles) const
+{
+    return tech_.leakageWPerMm2 * area * cycles * tech_.cyclePeriod();
+}
+
+OperatorCost
+OperatorModel::macArray(const OperatorShape &shape) const
+{
+    OperatorCost cost;
+    const double weights = shape.weightCount();
+    cost.area = area_.sramWeightStore(weights);
+
+    // Every weight is fetched once and consumed by a MAC; the array
+    // retires maMacsPerCycle_ MACs per cycle plus SRAM latency and
+    // pipeline fill.
+    const double mac_cycles =
+        std::ceil(weights / double(maMacsPerCycle_));
+    cost.cycles = mac_cycles + 8.0;
+
+    const double weight_bits = weights * 4.0;
+    cost.energy = weight_bits * tech_.eSramReadPerBit +
+                  weights * tech_.eMacOp +
+                  leakageEnergy(cost.area, cost.cycles);
+    return cost;
+}
+
+OperatorCost
+OperatorModel::cellEmbedding(const OperatorShape &shape) const
+{
+    OperatorCost cost;
+    const double weights = shape.weightCount();
+    cost.area = area_.cellEmbedding(weights);
+
+    // Fully parallel: one multiplier stage plus the adder-tree depth.
+    cost.cycles = 2.0 + double(ceilLog2(shape.inDim));
+
+    cost.energy = weights * tech_.eCmacOp +
+                  leakageEnergy(cost.area, cost.cycles);
+    return cost;
+}
+
+OperatorCost
+OperatorModel::metalEmbedding(const OperatorShape &shape) const
+{
+    OperatorCost cost;
+    const double weights = shape.weightCount();
+    cost.area = area_.metalEmbedding(weights);
+
+    // Bit-serial: one cycle per activation bit plus the POPCNT /
+    // compressor pipeline drain (log-depth in the fan-in) and the
+    // 16-way product tree.
+    const double popcount_depth = double(ceilLog2(shape.inDim)) + 2.0;
+    cost.cycles = double(shape.activationBits) + popcount_depth + 6.0;
+
+    // Dynamic: every wire contributes one 1-bit FA toggle per
+    // activation bit plane; the 16 multipliers and small tree are
+    // amortised into the same constant.
+    const double bit_ops = weights * double(shape.activationBits);
+    cost.energy = bit_ops * tech_.eFaBitOp +
+                  leakageEnergy(cost.area, cost.cycles);
+    return cost;
+}
+
+} // namespace hnlpu

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Operator-level time/energy model for the embedding-methodology
+ * comparison (paper Section 6.3 / Fig. 13).
+ *
+ * The modelled operator is a 1 x In by In x Out FP4 GEMV executed by:
+ *  - MA: a conventional MAC array fed from a weight SRAM,
+ *  - CE: a fully parallel cell-embedded constant-multiplier fabric,
+ *  - ME: the bit-serial Metal-Embedding Hardwired-Neuron fabric.
+ *
+ * Energies combine dynamic activity with leakage over the occupied area
+ * and execution time; constants live in TechnologyParams.
+ */
+
+#ifndef HNLPU_PHYS_ENERGY_MODEL_HH
+#define HNLPU_PHYS_ENERGY_MODEL_HH
+
+#include "phys/area_model.hh"
+
+namespace hnlpu {
+
+/** One methodology's operator-level results. */
+struct OperatorCost
+{
+    AreaMm2 area = 0;     //!< silicon area of the operator
+    double cycles = 0;    //!< execution cycles for one GEMV
+    Joules energy = 0;    //!< energy for one GEMV
+};
+
+/** The GEMV under comparison. */
+struct OperatorShape
+{
+    std::size_t inDim = 1024;
+    std::size_t outDim = 128;
+    unsigned activationBits = 8;
+
+    double weightCount() const
+    {
+        return double(inDim) * double(outDim);
+    }
+};
+
+/** Computes OperatorCost for each methodology. */
+class OperatorModel
+{
+  public:
+    OperatorModel(TechnologyParams tech,
+                  std::size_t ma_macs_per_cycle = 1024);
+
+    OperatorCost macArray(const OperatorShape &shape) const;
+    OperatorCost cellEmbedding(const OperatorShape &shape) const;
+    OperatorCost metalEmbedding(const OperatorShape &shape) const;
+
+    const AreaModel &areaModel() const { return area_; }
+
+  private:
+    Joules leakageEnergy(AreaMm2 area, double cycles) const;
+
+    TechnologyParams tech_;
+    AreaModel area_;
+    std::size_t maMacsPerCycle_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_PHYS_ENERGY_MODEL_HH

@@ -1,0 +1,28 @@
+#include "phys/technology.hh"
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+AreaMm2
+TechnologyParams::logicAreaMm2(double transistors) const
+{
+    hnlpu_assert(transistors >= 0, "negative transistor count");
+    return transistors / transistorDensityPerMm2;
+}
+
+AreaMm2
+TechnologyParams::sramAreaMm2(Bytes bytes, bool fine_banked) const
+{
+    const double bits = bytes * 8.0;
+    const double overhead = fine_banked ? sramBankOverhead : 1.0;
+    return bits * sramBitAreaUm2 * 1e-6 * overhead;
+}
+
+TechnologyParams
+n5Technology()
+{
+    return TechnologyParams{};
+}
+
+} // namespace hnlpu

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Process-technology descriptor (5 nm default).
+ *
+ * The paper characterises HNLPU with a Synopsys post-layout flow on a
+ * commercial 5 nm PDK; that flow is proprietary, so this model exposes
+ * the characterised constants directly (see DESIGN.md's substitution
+ * table).  Headline anchors from the paper and its cited sources:
+ *
+ *  - logic density 138 MTr/mm^2 (high-density 5 nm, Section 2.2)
+ *  - FP4 constant-MAC approx. 208 transistors (yields the 176,000 mm^2
+ *    strawman of Section 2.2)
+ *  - HD SRAM bit cell 0.021 um^2
+ *  - Metal-Embedding 0.07839 um^2 per weight (Table 1: 573.16 mm^2 HN
+ *    array for 1/16th of gpt-oss 120 B)
+ *  - wafer price $16,988 (300 mm, 5 nm), defect density 0.11 /cm^2
+ */
+
+#ifndef HNLPU_PHYS_TECHNOLOGY_HH
+#define HNLPU_PHYS_TECHNOLOGY_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace hnlpu {
+
+/** Technology-node constants used across area/energy/cost models. */
+struct TechnologyParams
+{
+    std::string name = "N5";
+
+    // -- logic / memory density -------------------------------------------
+    double transistorDensityPerMm2 = 138e6;
+    double sramBitAreaUm2 = 0.021;
+    /** Periphery/banking multiplier for the fine-grained 16 KB banks of
+     *  the attention buffer (decoder, sense amps, 1W1R ports). */
+    double sramBankOverhead = 2.473;
+
+    // -- calibrated cell areas (um^2) --------------------------------------
+    /** FP4 constant multiplier cell in a 1024-wide CE neuron (amortised
+     *  adder tree included); calibrated to Fig. 12's 14.3x. */
+    double areaCePerWeightUm2 = 1.20;
+    /** Metal-Embedding silicon per weight (POPCNT slice share, mux,
+     *  multiplier and tree amortised); calibrated to Table 1. */
+    double areaMePerWeightUm2 = 0.07839;
+    /** Transistors per FP4 CMAC in the naive strawman of Section 2.2. */
+    double cmacStrawmanTransistors = 208.0;
+
+    // -- timing -------------------------------------------------------------
+    double clockHz = 1.0e9;
+
+    // -- energy (calibrated to Fig. 13 / Table 1) ---------------------------
+    Joules eSramReadPerBit = 0.012e-12;
+    Joules eSramWritePerBit = 0.015e-12;
+    /** One FP8/INT8 MAC in a conventional array (MA baseline). */
+    Joules eMacOp = 0.04e-12;
+    /** One FP4 constant multiply incl. local accumulate (CE). */
+    Joules eCmacOp = 0.008e-12;
+    /** One 1-bit full-adder toggle (ME popcount / CSA). */
+    Joules eFaBitOp = 0.0002e-12;
+    /** HBM access energy per bit. */
+    Joules eHbmPerBit = 3.5e-12 / 8.0;
+    /** CXL link transport energy per bit. */
+    Joules eLinkPerBit = 1.0e-12 / 8.0;
+    /** Leakage power density of active logic. */
+    double leakageWPerMm2 = 0.020;
+
+    // -- manufacturing -------------------------------------------------------
+    Dollars waferPrice = 16988.0;
+    double waferDiameterMm = 300.0;
+    double defectDensityPerCm2 = 0.11;
+
+    /** Area of n transistors of random logic. */
+    AreaMm2 logicAreaMm2(double transistors) const;
+    /** Area of an SRAM macro of @p bytes (with banking overhead). */
+    AreaMm2 sramAreaMm2(Bytes bytes, bool fine_banked = false) const;
+    /** Seconds per clock cycle. */
+    Seconds cyclePeriod() const { return 1.0 / clockHz; }
+};
+
+/** The default 5 nm technology used throughout the paper. */
+TechnologyParams n5Technology();
+
+} // namespace hnlpu
+
+#endif // HNLPU_PHYS_TECHNOLOGY_HH

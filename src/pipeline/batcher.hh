@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Continuous-batching scheduler (paper Section 5.2).
+ *
+ * HNLPU holds up to 6 x layers sequences in flight; as soon as one
+ * finishes decoding, a waiting request is slotted in.  This scheduler
+ * models request-level serving on top of the pipeline simulator's
+ * steady-state token rates: each occupied slot advances one token per
+ * pipeline traversal, prefill streams the prompt through the pipeline
+ * back-to-back, and slots are re-issued continuously.
+ */
+
+#ifndef HNLPU_PIPELINE_BATCHER_HH
+#define HNLPU_PIPELINE_BATCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace hnlpu {
+
+/** One inference request. */
+struct Request
+{
+    Seconds arrival = 0;
+    std::size_t promptTokens = 0;
+    std::size_t decodeTokens = 0;
+};
+
+/** Completion record for a request. */
+struct RequestOutcome
+{
+    Seconds start = 0;       //!< admission into a pipeline slot
+    Seconds firstToken = 0;  //!< prefill complete
+    Seconds finish = 0;      //!< last token emitted
+    Seconds queueing() const { return start; }
+};
+
+/** Serving-level statistics. */
+struct BatcherStats
+{
+    double throughputTokensPerSecond = 0; //!< decoded tokens / makespan
+    Seconds makespan = 0;
+    Seconds meanLatency = 0;              //!< arrival -> finish
+    Seconds meanTimeToFirstToken = 0;
+    double meanOccupancy = 0;             //!< busy slots / total slots
+    std::uint64_t decodedTokens = 0;
+};
+
+/** Continuous-batching serving simulator. */
+class ContinuousBatcher
+{
+  public:
+    /**
+     * @param slots concurrent sequences (6 x layers = 216 for gpt-oss)
+     * @param token_interval pipeline initiation interval (1/throughput
+     *        at full batch)
+     * @param token_latency one token's pipeline traversal time
+     */
+    ContinuousBatcher(std::size_t slots, Seconds token_interval,
+                      Seconds token_latency);
+
+    /** Serve @p requests (sorted by arrival); returns per-request
+     *  outcomes aligned by index. */
+    std::vector<RequestOutcome> serve(
+        const std::vector<Request> &requests);
+
+    /** Aggregate statistics of the last serve() call. */
+    const BatcherStats &stats() const { return stats_; }
+
+  private:
+    std::size_t slots_;
+    Seconds tokenInterval_;
+    Seconds tokenLatency_;
+    BatcherStats stats_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_PIPELINE_BATCHER_HH

@@ -1,0 +1,445 @@
+#include "pipeline/pipeline_sim.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "model/model_zoo.hh"
+#include "sim/event_queue.hh"
+
+namespace hnlpu {
+
+namespace {
+
+/** Which breakdown class a wait/service interval belongs to. */
+enum class TimeClass { Comm, Projection, Nonlinear, Attention, Stall };
+
+/** Accumulates tick intervals into the five classes. */
+struct BreakdownTicks
+{
+    Tick comm = 0;
+    Tick projection = 0;
+    Tick nonlinear = 0;
+    Tick attention = 0;
+    Tick stall = 0;
+
+    void
+    add(TimeClass cls, Tick ticks)
+    {
+        switch (cls) {
+          case TimeClass::Comm: comm += ticks; break;
+          case TimeClass::Projection: projection += ticks; break;
+          case TimeClass::Nonlinear: nonlinear += ticks; break;
+          case TimeClass::Attention: attention += ticks; break;
+          case TimeClass::Stall: stall += ticks; break;
+        }
+    }
+};
+
+/** One step of a token's static schedule. */
+struct Op
+{
+    enum class Type
+    {
+        Unit,      //!< occupy one resource for `dur`
+        Collective,//!< serialise `bytes` on all `links`, then latency
+        SingleSend,//!< serialise on one rotating link, then latency
+        HbmStream, //!< double-buffered KV overflow fetch (stall only)
+    };
+
+    Type type = Type::Unit;
+    TimeClass cls = TimeClass::Projection;
+    std::size_t unit = 0;        //!< index into the unit-resource table
+    std::vector<std::size_t> links; //!< indices into the link table
+    Tick dur = 0;                //!< unit occupancy or serialisation
+    Tick overlapRef = 0;         //!< attention time hiding HBM traffic
+    /** Stage this op belongs to; tokens hold a stage until the
+     *  successor stage is free (blocking pipeline, Fig. 11). */
+    std::size_t stage = 0;
+};
+
+} // namespace
+
+PipelineSim::PipelineSim(PipelineConfig config)
+    : config_(std::move(config))
+{
+    config_.partition.validate();
+    hnlpu_assert(config_.measuredTokens > 0, "nothing to measure");
+}
+
+PipelineResult
+PipelineSim::run()
+{
+    const auto &cfg = config_;
+    const auto &part = cfg.partition;
+    const auto &model = part.model;
+    ChipTiming timing(part, cfg.timing);
+    KvStore kv(part, cfg.buffer, cfg.hbm, cfg.bufferKvShare);
+    const KvPlacement placement =
+        kv.place(cfg.contextLength, cfg.kvSequences);
+
+    // -- resource tables ----------------------------------------------------
+    // Links: [0, n_col) column links, then [n_col, n_col+n_row) row.
+    const std::size_t n_col = part.gridRows - 1;
+    const std::size_t n_row = part.gridCols - 1;
+    std::vector<TimelineResource> links;
+    std::vector<std::size_t> col_ids, row_ids;
+    for (std::size_t i = 0; i < n_col; ++i) {
+        col_ids.push_back(links.size());
+        links.emplace_back("col" + std::to_string(i));
+    }
+    for (std::size_t i = 0; i < n_row; ++i) {
+        row_ids.push_back(links.size());
+        links.emplace_back("row" + std::to_string(i));
+    }
+
+    // Unit resources: per-layer HN stage blocks and VEX slices, plus
+    // the unembedding HN, the sampler and the HBM channel.
+    const std::size_t layers = model.layerCount;
+    std::vector<TimelineResource> units;
+    auto add_unit = [&](const std::string &name) {
+        units.emplace_back(name);
+        return units.size() - 1;
+    };
+    std::vector<std::size_t> u_qkv(layers), u_xo(layers),
+        u_router(layers), u_upgate(layers), u_down(layers),
+        u_vex(layers), u_sfu(layers);
+    for (std::size_t l = 0; l < layers; ++l) {
+        const std::string suffix = std::to_string(l);
+        u_qkv[l] = add_unit("hn_qkv" + suffix);
+        u_xo[l] = add_unit("hn_xo" + suffix);
+        u_router[l] = add_unit("hn_router" + suffix);
+        u_upgate[l] = add_unit("hn_upgate" + suffix);
+        u_down[l] = add_unit("hn_down" + suffix);
+        u_vex[l] = add_unit("vex" + suffix);
+        u_sfu[l] = add_unit("sfu" + suffix);
+    }
+    const std::size_t u_unembed = add_unit("hn_unembed");
+    const std::size_t u_sample = add_unit("vex_sample");
+    const std::size_t u_hbm = add_unit("hbm");
+
+    // -- durations ------------------------------------------------------------
+    const Tick t_qkv = timing.hnGemvTicks(part.hiddenSlice());
+    const Tick t_xo = timing.hnGemvTicks(part.queryHeadsPerColumn() *
+                                         model.headDim);
+    const Tick t_router = timing.hnGemvTicks(model.hiddenSize);
+    const Tick t_upgate = timing.hnGemvTicks(model.hiddenSize);
+    const Tick t_down = timing.hnGemvTicks(model.expertHidden);
+    const Tick t_unembed = timing.hnGemvTicks(model.hiddenSize);
+
+    const Tick t_nl = timing.vexNonlinearTicks();
+    const Tick t_hbm = timing.kvStreamTicks(
+        placement.hbmReadPerTokenPerLayer);
+    const Tick latency = cfg.link.latencyTicks();
+
+    const double wire = cfg.wireBytesPerElement;
+    const double z_scale = cfg.scoreReduceScatter
+                               ? 1.0 / double(part.gridRows)
+                               : 1.0;
+    const Bytes b_query = wire * part.queryReduceBytes();
+    const Bytes b_kv = wire * 2.0 * part.kvReduceBytes();
+    // FlashAttention flow: each chip contributes only the per-head
+    // running (max, sum) pair; otherwise the full local score tensor.
+    const Bytes b_score =
+        cfg.flashScoreStats
+            ? wire * 2.0 * double(part.kvHeadsPerColumn()) *
+                  double(model.gqaGroupSize())
+            : wire *
+                  part.scoreReduceBytes(
+                      (cfg.contextLength + part.gridRows - 1) /
+                      part.gridRows) *
+                  z_scale;
+    const Bytes b_attn_out = wire * part.attnOutReduceBytes();
+    const Bytes b_xo = wire * part.xoReduceBytes();
+    const Bytes b_moe = wire * part.moeReduceBytes();
+    // Distributed sampling sends per-chip reduction statistics (a few
+    // scalars per candidate) instead of the raw logit shard.
+    const Bytes b_logits =
+        cfg.distributedSampling
+            ? wire * 32.0
+            : wire * double(model.vocabSize) / double(part.chipCount());
+
+    // -- static per-token schedule --------------------------------------------
+    std::vector<Op> schedule;
+    std::size_t current_stage = 0;
+    auto unit_op = [&](std::size_t unit, Tick dur, TimeClass cls) {
+        Op op;
+        op.type = Op::Type::Unit;
+        op.unit = unit;
+        op.dur = dur;
+        op.cls = cls;
+        op.stage = current_stage;
+        schedule.push_back(op);
+    };
+    auto coll_op = [&](const std::vector<std::size_t> &group,
+                       Bytes bytes) {
+        if (group.empty())
+            return;
+        Op op;
+        op.type = Op::Type::Collective;
+        op.links = group;
+        op.dur = cfg.link.serializationTicks(bytes);
+        op.cls = TimeClass::Comm;
+        op.stage = current_stage;
+        schedule.push_back(op);
+    };
+    auto single_op = [&](const std::vector<std::size_t> &group,
+                         Bytes bytes) {
+        if (group.empty())
+            return;
+        Op op;
+        op.type = Op::Type::SingleSend;
+        op.links = group;
+        op.dur = cfg.link.serializationTicks(bytes);
+        op.cls = TimeClass::Comm;
+        op.stage = current_stage;
+        schedule.push_back(op);
+    };
+
+    for (std::size_t layer = 0; layer < layers; ++layer) {
+        // Stage 1: QKV projection + column reductions.
+        unit_op(u_qkv[layer], t_qkv, TimeClass::Projection);
+        coll_op(col_ids, b_query);
+        single_op(col_ids, b_kv);
+        ++current_stage;
+
+        // Stage 2: attention (+ hidden HBM overflow stream).  Sliding
+        // layers attend over the window only and never spill to HBM.
+        const std::size_t layer_ctx =
+            model.layerContext(layer, cfg.contextLength);
+        const Tick t_attn = timing.vexAttentionTicks(layer_ctx);
+        const Tick t_softmax = timing.vexSoftmaxTicks(layer_ctx);
+        if (t_hbm > 0 && !model.isSlidingLayer(layer)) {
+            Op op;
+            op.type = Op::Type::HbmStream;
+            op.unit = u_hbm;
+            op.dur = t_hbm;
+            op.overlapRef = t_attn;
+            op.cls = TimeClass::Stall;
+            op.stage = current_stage;
+            schedule.push_back(op);
+        }
+        unit_op(u_vex[layer], t_attn, TimeClass::Attention);
+        unit_op(u_sfu[layer], t_softmax, TimeClass::Nonlinear);
+        coll_op(col_ids, b_score);
+        coll_op(col_ids, b_attn_out);
+        ++current_stage;
+
+        // Stage 3: output projection, row reduce + column gather.
+        unit_op(u_xo[layer], t_xo, TimeClass::Projection);
+        unit_op(u_sfu[layer], t_nl / 4, TimeClass::Nonlinear);
+        coll_op(row_ids, b_xo);
+        coll_op(col_ids, b_xo);
+        ++current_stage;
+
+        // Stage 4: RMSNorm + router + top-k.
+        unit_op(u_router[layer], t_router, TimeClass::Projection);
+        unit_op(u_sfu[layer], t_nl / 4, TimeClass::Nonlinear);
+        ++current_stage;
+
+        // Stage 5: up/gate projections + SwiGLU.
+        unit_op(u_upgate[layer], t_upgate, TimeClass::Projection);
+        unit_op(u_sfu[layer], t_nl / 2, TimeClass::Nonlinear);
+        ++current_stage;
+
+        // Stage 6: down projection + all-chip all-reduce.
+        unit_op(u_down[layer], t_down, TimeClass::Projection);
+        coll_op(row_ids, b_moe);
+        coll_op(col_ids, b_moe);
+        ++current_stage;
+    }
+    unit_op(u_unembed, t_unembed, TimeClass::Projection);
+    coll_op(row_ids, b_logits);
+    coll_op(col_ids, b_logits);
+    unit_op(u_sample, t_nl / 4, TimeClass::Nonlinear);
+    ++current_stage;
+
+    const std::size_t stage_count = current_stage;
+    const std::size_t slots = stage_count;
+    const std::uint64_t total_tokens =
+        cfg.warmupTokens + cfg.measuredTokens;
+
+    // -- event-driven execution with blocking stage slots ----------------------
+    //
+    // Each stage holds at most one token (Fig. 11 pipeline); a token
+    // enters stage s only when its predecessor has vacated it.  Stage
+    // ownership is explicit; at most one successor can ever be parked
+    // on a stage because admission is strictly in order.
+    struct TokenState
+    {
+        std::size_t next_op = 0;
+        std::size_t stage = ~std::size_t(0); //!< stage currently owned
+        Tick admitted = 0;
+        Tick finished = 0;
+        BreakdownTicks bd;
+        bool started = false;
+    };
+    std::vector<TokenState> tokens(total_tokens);
+    constexpr std::size_t kNone = ~std::size_t(0);
+    std::vector<std::size_t> stage_owner(stage_count, kNone);
+    std::vector<std::size_t> parked(stage_count, kNone);
+
+    EventQueue eq;
+    std::function<void(std::size_t)> advance;
+
+    // Claim `stage` for `tok`; park (single waiter) when occupied.
+    auto try_enter_stage = [&](std::size_t tok, std::size_t stage) {
+        if (stage_owner[stage] == tok)
+            return true; // ownership was transferred on wake-up
+        if (stage_owner[stage] == kNone) {
+            stage_owner[stage] = tok;
+            return true;
+        }
+        hnlpu_assert(parked[stage] == kNone,
+                     "more than one token parked at stage ", stage);
+        parked[stage] = tok;
+        return false;
+    };
+
+    // Vacate `stage`, handing it to a parked successor if any.
+    auto release_stage = [&](std::size_t stage) {
+        if (parked[stage] != kNone) {
+            const std::size_t waiter = parked[stage];
+            parked[stage] = kNone;
+            stage_owner[stage] = waiter;
+            eq.schedule(eq.now(), [&, waiter] { advance(waiter); });
+        } else {
+            stage_owner[stage] = kNone;
+        }
+    };
+
+    advance = [&](std::size_t tok) {
+        TokenState &st = tokens[tok];
+        if (!st.started) {
+            // Admission: claim stage 0, then let the next token queue.
+            if (!try_enter_stage(tok, 0))
+                return; // parked; release path re-invokes us
+            st.started = true;
+            st.stage = 0;
+            st.admitted = eq.now();
+            if (tok + 1 < total_tokens)
+                eq.schedule(eq.now(), [&, tok] { advance(tok + 1); });
+        }
+        if (st.next_op == schedule.size()) {
+            st.finished = eq.now();
+            release_stage(st.stage);
+            return;
+        }
+        const Op &op = schedule[st.next_op];
+        if (op.stage != st.stage) {
+            if (!try_enter_stage(tok, op.stage))
+                return; // parked until the predecessor moves on
+            release_stage(st.stage);
+            st.stage = op.stage;
+        }
+        ++st.next_op;
+
+        const Tick now = eq.now();
+        Tick done = now;
+        switch (op.type) {
+          case Op::Type::Unit: {
+            const Tick start = units[op.unit].acquire(now, op.dur);
+            done = start + op.dur;
+            st.bd.add(op.cls, done - now);
+            break;
+          }
+          case Op::Type::Collective: {
+            for (std::size_t link : op.links) {
+                const Tick start = links[link].acquire(now, op.dur);
+                done = std::max(done, start + op.dur + latency);
+            }
+            st.bd.add(TimeClass::Comm, done - now);
+            break;
+          }
+          case Op::Type::SingleSend: {
+            const std::size_t pick =
+                (tok + st.next_op) % op.links.size();
+            const Tick start =
+                links[op.links[pick]].acquire(now, op.dur);
+            done = start + op.dur + latency;
+            st.bd.add(TimeClass::Comm, done - now);
+            break;
+          }
+          case Op::Type::HbmStream: {
+            const Tick start = units[op.unit].acquire(now, op.dur);
+            const Tick hbm_done = start + op.dur;
+            const Tick stall = timing.hbmStallTicks(hbm_done - now,
+                                                    op.overlapRef);
+            done = now + stall;
+            st.bd.add(TimeClass::Stall, stall);
+            break;
+          }
+        }
+        if (done == now) {
+            advance(tok);
+        } else {
+            eq.schedule(done, [&, tok] { advance(tok); });
+        }
+    };
+
+    eq.schedule(0, [&] { advance(0); });
+    eq.run();
+
+    // -- results ----------------------------------------------------------------
+    PipelineResult result;
+    result.pipelineSlots = slots;
+    result.kvOverflowFraction = placement.overflowFraction;
+
+    BreakdownTicks sum;
+    Tick latency_sum = 0;
+    Tick measure_start = tokens[cfg.warmupTokens].admitted;
+    Tick measure_end = 0;
+    std::uint64_t count = 0;
+    for (std::size_t tok = cfg.warmupTokens; tok < total_tokens; ++tok) {
+        const TokenState &st = tokens[tok];
+        sum.comm += st.bd.comm;
+        sum.projection += st.bd.projection;
+        sum.nonlinear += st.bd.nonlinear;
+        sum.attention += st.bd.attention;
+        sum.stall += st.bd.stall;
+        latency_sum += st.finished - st.admitted;
+        measure_end = std::max(measure_end, st.finished);
+        ++count;
+    }
+    result.simulatedTokens = count;
+    const double span = toSeconds(measure_end - measure_start);
+    hnlpu_assert(span > 0, "degenerate measurement window");
+    result.tokensPerSecond = double(count) / span;
+    result.tokenLatency = toSeconds(latency_sum) / double(count);
+
+    const double n = double(count);
+    result.breakdown.comm = toSeconds(sum.comm) / n;
+    result.breakdown.projection = toSeconds(sum.projection) / n;
+    result.breakdown.nonlinear = toSeconds(sum.nonlinear) / n;
+    result.breakdown.attention = toSeconds(sum.attention) / n;
+    result.breakdown.stall = toSeconds(sum.stall) / n;
+
+    const Tick horizon = measure_end;
+    for (std::size_t i : col_ids) {
+        result.colLinkUtilization = std::max(
+            result.colLinkUtilization, links[i].utilization(horizon));
+    }
+    for (std::size_t i : row_ids) {
+        result.rowLinkUtilization = std::max(
+            result.rowLinkUtilization, links[i].utilization(horizon));
+    }
+    result.hbmUtilization = units[u_hbm].utilization(horizon);
+    return result;
+}
+
+PipelineConfig
+defaultGptOssPipeline(std::size_t context_length)
+{
+    PipelineConfig cfg;
+    cfg.partition = makePartition(gptOss120b());
+    cfg.timing = ChipTimingParams{};
+    cfg.link = CxlLinkParams{};
+    cfg.link.efficiency = 0.90;
+    cfg.link.perMessageOverhead = 64.0;
+    cfg.buffer = SramBufferParams{};
+    cfg.hbm = HbmParams{};
+    cfg.contextLength = context_length;
+    return cfg;
+}
+
+} // namespace hnlpu

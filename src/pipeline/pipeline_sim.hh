@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Cycle-level pipeline simulator for the HNLPU system (Sections 5/7).
+ *
+ * The system runs a nested pipeline: every transformer layer has
+ * dedicated HN/VEX hardware split into the six stages of Fig. 11, so up
+ * to 6 x layers tokens are in flight.  What the layers *share* are each
+ * chip's physical CXL links and HBM channel -- the contention that
+ * dominates the execution-time breakdown of Fig. 14.
+ *
+ * Because all chips execute the same SPMD schedule, one chip's resource
+ * set is representative; the simulator advances tokens through the
+ * per-layer stage sequence, acquiring FIFO timeline resources (exact for
+ * this in-order system) and attributing every waiting and service
+ * interval to one of the paper's five breakdown classes: CXL
+ * communication, projection (HN), non-linear (VEX SFU), attention (VEX
+ * MAC) and memory stall (HBM overflow not hidden by double buffering).
+ */
+
+#ifndef HNLPU_PIPELINE_PIPELINE_SIM_HH
+#define HNLPU_PIPELINE_PIPELINE_SIM_HH
+
+#include <vector>
+
+#include "chip/timing.hh"
+#include "mem/kv_store.hh"
+#include "noc/link.hh"
+#include "sim/resource.hh"
+
+namespace hnlpu {
+
+/** Full configuration of one pipeline simulation. */
+struct PipelineConfig
+{
+    SystemPartition partition;
+    ChipTimingParams timing;
+    CxlLinkParams link;
+    SramBufferParams buffer;
+    HbmParams hbm;
+    double bufferKvShare = 0.95;
+
+    /** Decode context length (tokens already cached per sequence). */
+    std::size_t contextLength = 2048;
+    /** Concurrent sequences contributing KV footprint (paper Fig. 14
+     *  sizes the buffer against a single sequence). */
+    std::size_t kvSequences = 1;
+
+    /** Split the score all-reduce into shards (reduce-scatter). */
+    bool scoreReduceScatter = true;
+    /**
+     * FlashAttention-style score combination: only running max/sum
+     * statistics cross chips instead of the full (heads x context)
+     * score tensor, making attention comm context-independent (paper
+     * Section 4.3: "VEX adopts the FlashAttention computation flow").
+     * Disable for the naive full-score exchange (ablation).
+     */
+    bool flashScoreStats = true;
+    /** Bytes per activation element on the wire (FP16 partial sums). */
+    double wireBytesPerElement = 2.0;
+    /**
+     * Distributed sampling: each chip reduces its local logit shard to
+     * per-chip (max, sum, candidate) statistics instead of gathering
+     * the full vocabulary (the paper's "specialized unit to perform
+     * multinomial sampling").  Disable for the naive full gather.
+     */
+    bool distributedSampling = true;
+
+    std::size_t warmupTokens = 300;
+    std::size_t measuredTokens = 1200;
+};
+
+/** Per-token execution-time decomposition (paper Fig. 14 classes). */
+struct TokenBreakdown
+{
+    Seconds comm = 0;
+    Seconds projection = 0;
+    Seconds nonlinear = 0;
+    Seconds attention = 0;
+    Seconds stall = 0;
+
+    Seconds total() const
+    {
+        return comm + projection + nonlinear + attention + stall;
+    }
+    double commShare() const { return comm / total(); }
+    double projectionShare() const { return projection / total(); }
+    double nonlinearShare() const { return nonlinear / total(); }
+    double attentionShare() const { return attention / total(); }
+    double stallShare() const { return stall / total(); }
+};
+
+/** Results of a steady-state decode simulation. */
+struct PipelineResult
+{
+    double tokensPerSecond = 0;     //!< steady-state system throughput
+    Seconds tokenLatency = 0;       //!< mean pipeline traversal time
+    TokenBreakdown breakdown;       //!< mean per-token decomposition
+    std::size_t pipelineSlots = 0;  //!< 6 x layers
+    double colLinkUtilization = 0;  //!< busiest-class link utilisation
+    double rowLinkUtilization = 0;
+    double hbmUtilization = 0;
+    double kvOverflowFraction = 0;  //!< from the KV placement
+    std::uint64_t simulatedTokens = 0;
+};
+
+/** The chip-representative pipeline simulator. */
+class PipelineSim
+{
+  public:
+    explicit PipelineSim(PipelineConfig config);
+
+    /** Run the steady-state decode simulation. */
+    PipelineResult run();
+
+    const PipelineConfig &config() const { return config_; }
+
+  private:
+    PipelineConfig config_;
+};
+
+/** Convenience: the paper's nominal gpt-oss 120 B configuration. */
+PipelineConfig defaultGptOssPipeline(std::size_t context_length = 2048);
+
+} // namespace hnlpu
+
+#endif // HNLPU_PIPELINE_PIPELINE_SIM_HH

@@ -1,0 +1,41 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    hnlpu_assert(when >= now_, "scheduling into the past: ", when,
+                 " < ", now_);
+    events_.push(Event{when, seq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleIn(Tick delay, Callback cb)
+{
+    schedule(now_ + delay, std::move(cb));
+}
+
+void
+EventQueue::run(Tick until)
+{
+    stopped_ = false;
+    while (!events_.empty() && !stopped_) {
+        // priority_queue::top returns const ref; move via const_cast is
+        // the standard idiom but copying the callback keeps this simple
+        // and safe.
+        Event ev = events_.top();
+        if (ev.when > until)
+            break;
+        events_.pop();
+        now_ = ev.when;
+        ++executed_;
+        ev.cb();
+    }
+    if (events_.empty() && until != ~Tick(0) && now_ < until)
+        now_ = until;
+}
+
+} // namespace hnlpu

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A minimal tick-based event queue in the gem5 tradition: events are
+ * (tick, sequence, callback) triples executed in deterministic order.
+ * The pipeline simulator mostly uses TimelineResource scheduling (exact
+ * for FIFO systems), but the event kernel underpins the queueing
+ * validation tests and any future reactive models.
+ */
+
+#ifndef HNLPU_SIM_EVENT_QUEUE_HH
+#define HNLPU_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace hnlpu {
+
+/** Deterministic tick-ordered event executor. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb at absolute tick @p when (>= now). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delay ticks from now. */
+    void scheduleIn(Tick delay, Callback cb);
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Run until the queue drains or @p until is reached. */
+    void run(Tick until = ~Tick(0));
+
+    /** Stop after the current event. */
+    void stop() { stopped_ = true; }
+
+    /** Pending event count. */
+    std::size_t pending() const { return events_.size(); }
+
+    /** Total events executed. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool operator()(const Event &a, const Event &b) const
+        {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+    bool stopped_ = false;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_SIM_EVENT_QUEUE_HH

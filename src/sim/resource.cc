@@ -1,0 +1,80 @@
+#include "sim/resource.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+TimelineResource::TimelineResource(std::string name)
+    : name_(std::move(name))
+{
+}
+
+Tick
+TimelineResource::acquire(Tick ready, Tick duration)
+{
+    const Tick start = std::max(ready, freeAt_);
+    waited_ += start - ready;
+    freeAt_ = start + duration;
+    busy_ += duration;
+    ++requests_;
+    return start;
+}
+
+double
+TimelineResource::utilization(Tick horizon) const
+{
+    if (horizon == 0)
+        return 0.0;
+    return static_cast<double>(busy_) / static_cast<double>(horizon);
+}
+
+void
+TimelineResource::reset()
+{
+    freeAt_ = 0;
+    busy_ = 0;
+    waited_ = 0;
+    requests_ = 0;
+}
+
+ResourcePool::ResourcePool(std::string name, std::size_t servers)
+    : name_(std::move(name))
+{
+    hnlpu_assert(servers > 0, "resource pool needs servers");
+    servers_.reserve(servers);
+    for (std::size_t i = 0; i < servers; ++i)
+        servers_.emplace_back(name_ + "[" + std::to_string(i) + "]");
+}
+
+Tick
+ResourcePool::acquire(Tick ready, Tick duration)
+{
+    TimelineResource *best = &servers_.front();
+    for (auto &server : servers_) {
+        if (server.freeAt() < best->freeAt())
+            best = &server;
+    }
+    return best->acquire(ready, duration);
+}
+
+Tick
+ResourcePool::busyTicks() const
+{
+    Tick total = 0;
+    for (const auto &server : servers_)
+        total += server.busyTicks();
+    return total;
+}
+
+std::uint64_t
+ResourcePool::requests() const
+{
+    std::uint64_t total = 0;
+    for (const auto &server : servers_)
+        total += server.requests();
+    return total;
+}
+
+} // namespace hnlpu

@@ -1,0 +1,92 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+void
+Accumulator::add(double sample)
+{
+    ++count_;
+    sum_ += sample;
+    sumSq_ += sample * sample;
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+}
+
+double
+Accumulator::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+Accumulator::variance() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = sumSq_ / static_cast<double>(count_) - m * m;
+    return var > 0.0 ? var : 0.0;
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    hnlpu_assert(hi > lo && bins > 0, "bad histogram shape");
+}
+
+void
+Histogram::add(double sample)
+{
+    ++total_;
+    if (sample < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (sample >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const double frac = (sample - lo_) / (hi_ - lo_);
+    const auto bin = static_cast<std::size_t>(
+        frac * static_cast<double>(counts_.size()));
+    counts_[std::min(bin, counts_.size() - 1)]++;
+}
+
+std::uint64_t
+Histogram::binCount(std::size_t bin) const
+{
+    hnlpu_assert(bin < counts_.size(), "bin out of range");
+    return counts_[bin];
+}
+
+double
+Histogram::quantile(double q) const
+{
+    hnlpu_assert(q >= 0.0 && q <= 1.0, "quantile out of range");
+    if (total_ == 0)
+        return lo_;
+    const double target = q * static_cast<double>(total_);
+    double running = static_cast<double>(underflow_);
+    if (running >= target)
+        return lo_;
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        running += static_cast<double>(counts_[b]);
+        if (running >= target)
+            return lo_ + (static_cast<double>(b) + 0.5) * width;
+    }
+    return hi_;
+}
+
+} // namespace hnlpu

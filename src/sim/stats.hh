@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Lightweight statistics accumulators for the simulators.
+ */
+
+#ifndef HNLPU_SIM_STATS_HH
+#define HNLPU_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hnlpu {
+
+/** Running scalar accumulator: count / sum / min / max / mean / stddev. */
+class Accumulator
+{
+  public:
+    void add(double sample);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    double variance() const;
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-bin histogram over [lo, hi) with under/overflow buckets. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double sample);
+
+    std::uint64_t binCount(std::size_t bin) const;
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Approximate quantile from bin midpoints (q in [0,1]). */
+    double quantile(double q) const;
+
+  private:
+    double lo_, hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_SIM_STATS_HH

@@ -1,0 +1,193 @@
+#include "xformer/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "xformer/ops.hh"
+
+namespace hnlpu {
+
+Engine::Engine(const TransformerConfig &cfg, const ModelWeights &weights,
+               ExecPath path, unsigned activation_bits)
+    : cfg_(cfg), weights_(weights), path_(path),
+      activationBits_(activation_bits)
+{
+    cfg_.validate();
+    hnlpu_assert(weights_.blocks.size() == cfg_.layerCount,
+                 "weights/config layer mismatch");
+    stats_.expertHistogram.assign(cfg_.expertCount, 0);
+}
+
+KvCache
+Engine::makeCache() const
+{
+    return KvCache(cfg_.layerCount, cfg_.kvHeads, cfg_.headDim);
+}
+
+Vec
+Engine::attention(const BlockWeights &block, const Vec &x_norm,
+                  std::size_t layer, KvCache &cache)
+{
+    const std::size_t head_dim = cfg_.headDim;
+    const std::size_t group = cfg_.gqaGroupSize();
+    const std::size_t pos = cache.length();
+
+    HnActivity *act =
+        path_ == ExecPath::Hardwired ? &stats_.hnActivity : nullptr;
+
+    Vec q_flat = block.wq.forward(x_norm, path_, activationBits_,
+                                  act);
+    if (lora_) {
+        const Vec dq = lora_->wq[layer].delta(x_norm);
+        for (std::size_t i = 0; i < q_flat.size(); ++i)
+            q_flat[i] += dq[i];
+    }
+    const Vec k_flat = block.wk.forward(x_norm, path_, activationBits_,
+                                        act);
+    const Vec v_flat = block.wv.forward(x_norm, path_, activationBits_,
+                                        act);
+
+    // Split into heads and apply RoPE to queries and keys.
+    std::vector<Vec> q_heads(cfg_.queryHeads);
+    for (std::size_t h = 0; h < cfg_.queryHeads; ++h) {
+        q_heads[h] = Vec(q_flat.begin() + h * head_dim,
+                         q_flat.begin() + (h + 1) * head_dim);
+        applyRope(q_heads[h], pos);
+    }
+    std::vector<Vec> k_heads(cfg_.kvHeads), v_heads(cfg_.kvHeads);
+    for (std::size_t h = 0; h < cfg_.kvHeads; ++h) {
+        k_heads[h] = Vec(k_flat.begin() + h * head_dim,
+                         k_flat.begin() + (h + 1) * head_dim);
+        applyRope(k_heads[h], pos);
+        v_heads[h] = Vec(v_flat.begin() + h * head_dim,
+                         v_flat.begin() + (h + 1) * head_dim);
+    }
+    cache.append(layer, k_heads, v_heads);
+
+    // Context length including the token just appended.  cache.length()
+    // only advances after the last layer, so derive from storage:
+    const std::size_t context = pos + 1;
+
+    const double inv_sqrt_d = 1.0 / std::sqrt(double(head_dim));
+    Vec attn_out(cfg_.queryHeads * head_dim, 0.0);
+    for (std::size_t h = 0; h < cfg_.queryHeads; ++h) {
+        const std::size_t kv_head = h / group;
+        Vec scores(context);
+        for (std::size_t t = 0; t < context; ++t) {
+            scores[t] = dot(q_heads[h], cache.key(layer, kv_head, t)) *
+                        inv_sqrt_d;
+        }
+        const Vec probs = softmax(scores);
+        for (std::size_t t = 0; t < context; ++t) {
+            const Vec &v = cache.value(layer, kv_head, t);
+            for (std::size_t d = 0; d < head_dim; ++d)
+                attn_out[h * head_dim + d] += probs[t] * v[d];
+        }
+    }
+    Vec out = block.wo.forward(attn_out, path_, activationBits_, act);
+    if (lora_) {
+        const Vec d_o = lora_->wo[layer].delta(attn_out);
+        for (std::size_t i = 0; i < out.size(); ++i)
+            out[i] += d_o[i];
+    }
+    return out;
+}
+
+Vec
+Engine::forwardHidden(std::size_t token_id, KvCache &cache)
+{
+    hnlpu_assert(token_id < cfg_.vocabSize, "token id out of range");
+
+    Vec x = weights_.embedding.row(token_id);
+
+    for (std::size_t layer = 0; layer < cfg_.layerCount; ++layer) {
+        const BlockWeights &block = weights_.blocks[layer];
+
+        const Vec attn_in = rmsNorm(x, block.attnNormGain);
+        const Vec attn = attention(block, attn_in, layer, cache);
+        x = add(x, attn);
+
+        const Vec ffn_in = rmsNorm(x, block.ffnNormGain);
+        std::vector<std::size_t> selected;
+        const Vec ffn = block.ffn.forward(ffn_in, path_, activationBits_,
+                                          &selected);
+        for (std::size_t e : selected)
+            stats_.expertHistogram[e]++;
+        x = add(x, ffn);
+    }
+
+    ++stats_.tokensProcessed;
+    return rmsNorm(x, weights_.finalNormGain);
+}
+
+Vec
+Engine::forwardToken(std::size_t token_id, KvCache &cache)
+{
+    HnActivity *act =
+        path_ == ExecPath::Hardwired ? &stats_.hnActivity : nullptr;
+    const Vec final_norm = forwardHidden(token_id, cache);
+    return weights_.unembedding.forward(final_norm, path_,
+                                        activationBits_, act);
+}
+
+void
+Engine::attachLora(const LoraSet *lora)
+{
+    if (lora) {
+        hnlpu_assert(lora->wq.size() == cfg_.layerCount &&
+                         lora->wo.size() == cfg_.layerCount,
+                     "LoRA set layer count mismatch");
+    }
+    lora_ = lora;
+}
+
+double
+Engine::scoreSequence(const std::vector<std::size_t> &tokens)
+{
+    hnlpu_assert(tokens.size() >= 2, "scoring needs >= 2 tokens");
+    KvCache cache = makeCache();
+    double total_logprob = 0.0;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        const Vec logits = forwardToken(tokens[i], cache);
+        const Vec probs = softmax(logits);
+        total_logprob += std::log(
+            std::max(probs[tokens[i + 1]], 1e-300));
+    }
+    return total_logprob;
+}
+
+Vec
+Engine::embedSequence(const std::vector<std::size_t> &tokens)
+{
+    hnlpu_assert(!tokens.empty(), "embedding needs tokens");
+    KvCache cache = makeCache();
+    Vec hidden;
+    for (std::size_t token : tokens)
+        hidden = forwardHidden(token, cache);
+    return hidden;
+}
+
+std::vector<std::size_t>
+Engine::generate(const std::vector<std::size_t> &prompt,
+                 std::size_t decode_steps, Sampler &sampler)
+{
+    hnlpu_assert(!prompt.empty(), "empty prompt");
+    KvCache cache = makeCache();
+
+    Vec logits;
+    for (std::size_t token : prompt)
+        logits = forwardToken(token, cache);
+
+    std::vector<std::size_t> generated;
+    generated.reserve(decode_steps);
+    for (std::size_t step = 0; step < decode_steps; ++step) {
+        const std::size_t next = sampler.sample(logits);
+        generated.push_back(next);
+        if (step + 1 < decode_steps)
+            logits = forwardToken(next, cache);
+    }
+    return generated;
+}
+
+} // namespace hnlpu

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The functional inference engine: token ids in, token ids out.
+ *
+ * This is the behavioural specification of the HNLPU: embedding lookup,
+ * N transformer blocks (RMSNorm -> GQA attention -> residual -> RMSNorm
+ * -> MoE SwiGLU FFN -> residual), final norm, unembedding, sampling
+ * (paper Fig. 10).  Every weight-bearing projection can run on the
+ * reference float path or the bit-serial Hardwired-Neuron path; the
+ * integration tests pin both paths to each other.
+ */
+
+#ifndef HNLPU_XFORMER_ENGINE_HH
+#define HNLPU_XFORMER_ENGINE_HH
+
+#include <vector>
+
+#include "model/transformer_config.hh"
+#include "xformer/kv_cache.hh"
+#include "xformer/lora.hh"
+#include "xformer/sampler.hh"
+#include "xformer/weights.hh"
+
+namespace hnlpu {
+
+/** Aggregate statistics of a generation run. */
+struct EngineStats
+{
+    std::size_t tokensProcessed = 0;   //!< prefill + decoded tokens
+    HnActivity hnActivity;             //!< hardwired path only
+    std::vector<std::size_t> expertHistogram; //!< routing counts
+};
+
+/** Functional decoder-only LLM executor. */
+class Engine
+{
+  public:
+    /** The engine borrows the weights; they must outlive it. */
+    Engine(const TransformerConfig &cfg, const ModelWeights &weights,
+           ExecPath path, unsigned activation_bits = 8);
+
+    /**
+     * Run one token through the model.
+     * @param token_id input token
+     * @param cache per-sequence KV cache, appended in place
+     * @return unembedding logits (vocab-sized)
+     */
+    Vec forwardToken(std::size_t token_id, KvCache &cache);
+
+    /**
+     * Prefill @p prompt then autoregressively decode @p decode_steps
+     * tokens with @p sampler.
+     * @return the generated token ids (decode only, prompt excluded)
+     */
+    std::vector<std::size_t> generate(
+        const std::vector<std::size_t> &prompt, std::size_t decode_steps,
+        Sampler &sampler);
+
+    /** Fresh KV cache matching this model. */
+    KvCache makeCache() const;
+
+    /**
+     * Attach LoRA side-channel adapters for the attention projections
+     * (paper Section 8 (4)); pass nullptr to detach.  The set must
+     * outlive the engine and match the model's layer count/shapes.
+     */
+    void attachLora(const LoraSet *lora);
+
+    /**
+     * Sequence scoring mode (paper Section 8 (3)): the total
+     * log-probability of tokens[1..] under teacher forcing.
+     */
+    double scoreSequence(const std::vector<std::size_t> &tokens);
+
+    /**
+     * Text-embedding mode (paper Section 8 (3)): the final-norm hidden
+     * state after consuming the sequence.
+     */
+    Vec embedSequence(const std::vector<std::size_t> &tokens);
+
+    const EngineStats &stats() const { return stats_; }
+    const TransformerConfig &config() const { return cfg_; }
+    ExecPath path() const { return path_; }
+
+  private:
+    /** GQA attention for one block at the cache's current position. */
+    Vec attention(const BlockWeights &block, const Vec &x_norm,
+                  std::size_t layer, KvCache &cache);
+
+    /** Shared body: run one token, return the final-norm hidden. */
+    Vec forwardHidden(std::size_t token_id, KvCache &cache);
+
+    TransformerConfig cfg_;
+    const ModelWeights &weights_;
+    ExecPath path_;
+    unsigned activationBits_;
+    const LoraSet *lora_ = nullptr;
+    EngineStats stats_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_XFORMER_ENGINE_HH

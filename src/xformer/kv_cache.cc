@@ -1,0 +1,56 @@
+#include "xformer/kv_cache.hh"
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+KvCache::KvCache(std::size_t layers, std::size_t kv_heads,
+                 std::size_t head_dim)
+    : kvHeads_(kv_heads), headDim_(head_dim),
+      keys_(layers, std::vector<std::vector<Vec>>(kv_heads)),
+      values_(layers, std::vector<std::vector<Vec>>(kv_heads))
+{
+    hnlpu_assert(layers > 0 && kv_heads > 0 && head_dim > 0,
+                 "bad KV cache shape");
+}
+
+void
+KvCache::append(std::size_t layer, const std::vector<Vec> &keys,
+                const std::vector<Vec> &values)
+{
+    hnlpu_assert(layer < keys_.size(), "layer out of range");
+    hnlpu_assert(keys.size() == kvHeads_ && values.size() == kvHeads_,
+                 "append expects one K/V per head");
+    for (std::size_t h = 0; h < kvHeads_; ++h) {
+        hnlpu_assert(keys[h].size() == headDim_ &&
+                         values[h].size() == headDim_,
+                     "K/V head dim mismatch");
+        keys_[layer][h].push_back(keys[h]);
+        values_[layer][h].push_back(values[h]);
+    }
+    // Track length once all layers of this token have been appended:
+    // layer 0 is always appended first in a forward pass.
+    if (layer == keys_.size() - 1)
+        ++length_;
+}
+
+const Vec &
+KvCache::key(std::size_t layer, std::size_t head, std::size_t pos) const
+{
+    hnlpu_assert(layer < keys_.size(), "layer out of range");
+    hnlpu_assert(head < kvHeads_, "head out of range");
+    hnlpu_assert(pos < keys_[layer][head].size(), "pos out of range");
+    return keys_[layer][head][pos];
+}
+
+const Vec &
+KvCache::value(std::size_t layer, std::size_t head,
+               std::size_t pos) const
+{
+    hnlpu_assert(layer < values_.size(), "layer out of range");
+    hnlpu_assert(head < kvHeads_, "head out of range");
+    hnlpu_assert(pos < values_[layer][head].size(), "pos out of range");
+    return values_[layer][head][pos];
+}
+
+} // namespace hnlpu

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Per-sequence KV cache for the functional engine.
+ *
+ * Stores post-RoPE key and value head vectors per layer.  The cycle-level
+ * memory system (src/mem) models the physical buffer/HBM behaviour; this
+ * class is the functional counterpart used during token generation.
+ */
+
+#ifndef HNLPU_XFORMER_KV_CACHE_HH
+#define HNLPU_XFORMER_KV_CACHE_HH
+
+#include <vector>
+
+#include "xformer/tensor.hh"
+
+namespace hnlpu {
+
+/** KV storage for one sequence across all layers. */
+class KvCache
+{
+  public:
+    /**
+     * @param layers transformer block count
+     * @param kv_heads KV heads per layer
+     * @param head_dim per-head dimension
+     */
+    KvCache(std::size_t layers, std::size_t kv_heads,
+            std::size_t head_dim);
+
+    /** Append one token's keys/values for a layer (kv_heads vectors). */
+    void append(std::size_t layer, const std::vector<Vec> &keys,
+                const std::vector<Vec> &values);
+
+    /** Cached key of token @p pos, head @p head, layer @p layer. */
+    const Vec &key(std::size_t layer, std::size_t head,
+                   std::size_t pos) const;
+    const Vec &value(std::size_t layer, std::size_t head,
+                     std::size_t pos) const;
+
+    /** Tokens currently cached (uniform across layers). */
+    std::size_t length() const { return length_; }
+
+    std::size_t kvHeads() const { return kvHeads_; }
+
+  private:
+    std::size_t kvHeads_;
+    std::size_t headDim_;
+    std::size_t length_ = 0;
+    /** [layer][head][pos] -> head_dim vector. */
+    std::vector<std::vector<std::vector<Vec>>> keys_;
+    std::vector<std::vector<std::vector<Vec>>> values_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_XFORMER_KV_CACHE_HH

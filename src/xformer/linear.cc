@@ -1,0 +1,100 @@
+#include "xformer/linear.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace hnlpu {
+
+Linear::Linear(std::vector<Fp4> weights, std::size_t out_dim,
+               std::size_t in_dim)
+    : weights_(std::move(weights)), outDim_(out_dim), inDim_(in_dim)
+{
+    hnlpu_assert(weights_.size() == outDim_ * inDim_,
+                 "linear weight count mismatch");
+}
+
+Linear
+Linear::fromReal(const Mat &weights)
+{
+    std::vector<Fp4> codes;
+    codes.reserve(weights.rows() * weights.cols());
+    for (double v : weights.data())
+        codes.push_back(Fp4::quantize(v));
+    return Linear(std::move(codes), weights.rows(), weights.cols());
+}
+
+Linear
+Linear::random(std::size_t out_dim, std::size_t in_dim,
+               std::uint64_t seed)
+{
+    Rng rng(seed);
+    // Scale so dot products stay O(1) for unit-variance inputs; FP4 has
+    // a coarse grid so we stretch into its dynamic range first.
+    const double stddev = 1.5;
+    std::vector<Fp4> codes;
+    codes.reserve(out_dim * in_dim);
+    for (std::size_t i = 0; i < out_dim * in_dim; ++i)
+        codes.push_back(Fp4::quantize(rng.gaussian(0.0, stddev)));
+    return Linear(std::move(codes), out_dim, in_dim);
+}
+
+const HnArray &
+Linear::hardwired() const
+{
+    if (!hnArray_) {
+        SeaOfNeuronsTemplate tmpl;
+        tmpl.inputCount = inDim_;
+        tmpl.portsPerSlice = 16;
+        tmpl.slackFactor = 4.0;
+        hnArray_ = std::make_shared<HnArray>(tmpl, weights_, outDim_,
+                                             inDim_);
+    }
+    return *hnArray_;
+}
+
+Vec
+Linear::forward(const Vec &x, ExecPath path, unsigned activation_bits,
+                HnActivity *activity) const
+{
+    hnlpu_assert(x.size() == inDim_, "linear input size mismatch: ",
+                 x.size(), " vs ", inDim_);
+    if (path == ExecPath::Hardwired)
+        return hardwired().gemvReal(x, activation_bits, activity);
+
+    Vec y(outDim_, 0.0);
+    const auto &values = fp4ValueTable();
+    for (std::size_t r = 0; r < outDim_; ++r) {
+        double acc = 0.0;
+        const Fp4 *row = weights_.data() + r * inDim_;
+        for (std::size_t c = 0; c < inDim_; ++c)
+            acc += values[row[c].code()] * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+double
+Linear::weightValue(std::size_t row, std::size_t col) const
+{
+    hnlpu_assert(row < outDim_ && col < inDim_, "weight index range");
+    return weights_[row * inDim_ + col].value();
+}
+
+Linear
+Linear::slice(std::size_t row0, std::size_t rows, std::size_t col0,
+              std::size_t cols) const
+{
+    hnlpu_assert(row0 + rows <= outDim_ && col0 + cols <= inDim_,
+                 "slice out of range");
+    std::vector<Fp4> shard;
+    shard.reserve(rows * cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const Fp4 *row = weights_.data() + (row0 + r) * inDim_ + col0;
+        shard.insert(shard.end(), row, row + cols);
+    }
+    return Linear(std::move(shard), rows, cols);
+}
+
+} // namespace hnlpu

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Weight-bearing projection with two interchangeable execution paths.
+ *
+ * Every projection in the model stores its weights as FP4 codes (the
+ * hardwired representation).  It can execute either:
+ *
+ *  - Reference: dense float GEMV over the dequantised FP4 values, or
+ *  - Hardwired: the bit-serial Metal-Embedding HN array.
+ *
+ * Both paths share the identical FP4 weights, so the only divergence is
+ * the hardwired path's activation quantisation -- this is what the
+ * end-to-end equivalence tests pin down.
+ */
+
+#ifndef HNLPU_XFORMER_LINEAR_HH
+#define HNLPU_XFORMER_LINEAR_HH
+
+#include <memory>
+#include <vector>
+
+#include "arith/fp4.hh"
+#include "hn/hn_array.hh"
+#include "xformer/tensor.hh"
+
+namespace hnlpu {
+
+/** Which GEMV implementation a Linear uses. */
+enum class ExecPath { Reference, Hardwired };
+
+/** An out x in projection with FP4 weights. */
+class Linear
+{
+  public:
+    /** Construct from FP4 codes (row-major, out x in). */
+    Linear(std::vector<Fp4> weights, std::size_t out_dim,
+           std::size_t in_dim);
+
+    /** Quantise a real matrix (row-major) to FP4 and construct. */
+    static Linear fromReal(const Mat &weights);
+
+    /** Random synthetic projection with Xavier-ish scaling. */
+    static Linear random(std::size_t out_dim, std::size_t in_dim,
+                         std::uint64_t seed);
+
+    /**
+     * y = W x on the chosen path.
+     * @param activation_bits bit width of the hardwired serial stream
+     * @param activity optional HN activity accumulation (hardwired only)
+     */
+    Vec forward(const Vec &x, ExecPath path,
+                unsigned activation_bits = 8,
+                HnActivity *activity = nullptr) const;
+
+    std::size_t outDim() const { return outDim_; }
+    std::size_t inDim() const { return inDim_; }
+
+    /** The dequantised weight value at (row, col). */
+    double weightValue(std::size_t row, std::size_t col) const;
+
+    /** Total FP4 parameters. */
+    std::size_t paramCount() const { return weights_.size(); }
+
+    /** Raw FP4 codes (row-major). */
+    const std::vector<Fp4> &codes() const { return weights_; }
+
+    /**
+     * Extract the sub-projection [row0, row0+rows) x [col0, col0+cols)
+     * as its own Linear (used by the distributed dataflow to build
+     * per-chip weight shards; paper Appendix A).
+     */
+    Linear slice(std::size_t row0, std::size_t rows, std::size_t col0,
+                 std::size_t cols) const;
+
+  private:
+    const HnArray &hardwired() const;
+
+    std::vector<Fp4> weights_;
+    std::size_t outDim_;
+    std::size_t inDim_;
+    /** Lazily programmed HN array (shared so Linear stays copyable). */
+    mutable std::shared_ptr<HnArray> hnArray_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_XFORMER_LINEAR_HH

@@ -1,0 +1,90 @@
+#include "xformer/lora.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace hnlpu {
+
+LoraAdapter::LoraAdapter(std::size_t out_dim, std::size_t in_dim,
+                         std::size_t rank, double scale)
+    : a_(rank, in_dim, 0.0), b_(out_dim, rank, 0.0), scale_(scale)
+{
+    hnlpu_assert(rank >= 1, "LoRA rank must be positive");
+}
+
+LoraAdapter
+LoraAdapter::random(std::size_t out_dim, std::size_t in_dim,
+                    std::size_t rank, std::uint64_t seed, double scale)
+{
+    LoraAdapter adapter(out_dim, in_dim, rank, scale);
+    Rng rng(seed);
+    const double a_std = 1.0 / std::sqrt(double(in_dim));
+    for (double &v : adapter.a_.data())
+        v = rng.gaussian(0.0, a_std);
+    const double b_std = 1.0 / std::sqrt(double(rank));
+    for (double &v : adapter.b_.data())
+        v = rng.gaussian(0.0, b_std);
+    return adapter;
+}
+
+Vec
+LoraAdapter::delta(const Vec &x) const
+{
+    const Vec low = matVec(a_, x);
+    Vec out = matVec(b_, low);
+    scale(out, scale_);
+    return out;
+}
+
+Vec
+LoraAdapter::apply(const Linear &frozen, const Vec &x, ExecPath path,
+                   unsigned activation_bits) const
+{
+    hnlpu_assert(frozen.outDim() == outDim() &&
+                     frozen.inDim() == inDim(),
+                 "adapter shape mismatch");
+    Vec y = frozen.forward(x, path, activation_bits);
+    const Vec d = delta(x);
+    for (std::size_t i = 0; i < y.size(); ++i)
+        y[i] += d[i];
+    return y;
+}
+
+std::size_t
+LoraAdapter::paramCount() const
+{
+    return a_.rows() * a_.cols() + b_.rows() * b_.cols();
+}
+
+LoraSet
+LoraSet::zeros(std::size_t layers, std::size_t hidden,
+               std::size_t q_proj, std::size_t rank)
+{
+    LoraSet set;
+    set.wq.reserve(layers);
+    set.wo.reserve(layers);
+    for (std::size_t l = 0; l < layers; ++l) {
+        set.wq.emplace_back(q_proj, hidden, rank);
+        set.wo.emplace_back(hidden, q_proj, rank);
+    }
+    return set;
+}
+
+double
+LoraSet::overheadFraction(std::size_t hidden, std::size_t q_proj) const
+{
+    if (wq.empty())
+        return 0.0;
+    const double frozen =
+        2.0 * double(hidden) * double(q_proj) * double(wq.size());
+    double side = 0.0;
+    for (const auto &adapter : wq)
+        side += double(adapter.paramCount());
+    for (const auto &adapter : wo)
+        side += double(adapter.paramCount());
+    return side / frozen;
+}
+
+} // namespace hnlpu

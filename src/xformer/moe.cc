@@ -1,0 +1,80 @@
+#include "xformer/moe.hh"
+
+#include "common/logging.hh"
+#include "xformer/ops.hh"
+
+namespace hnlpu {
+
+MoeLayer::MoeLayer(Linear router, std::vector<Expert> experts,
+                   std::size_t active_experts)
+    : router_(std::move(router)), experts_(std::move(experts)),
+      activeExperts_(active_experts), isDense_(false)
+{
+    hnlpu_assert(!experts_.empty(), "MoE needs at least one expert");
+    hnlpu_assert(activeExperts_ >= 1 &&
+                     activeExperts_ <= experts_.size(),
+                 "bad top-k width");
+    hnlpu_assert(router_.outDim() == experts_.size(),
+                 "router out dim must equal expert count");
+}
+
+MoeLayer
+MoeLayer::dense(Expert expert)
+{
+    // A one-output dummy router keeps the invariants; it is bypassed.
+    Linear router(std::vector<Fp4>(expert.up.inDim(),
+                                   Fp4::quantize(0.0)),
+                  1, expert.up.inDim());
+    std::vector<Expert> experts;
+    experts.push_back(std::move(expert));
+    MoeLayer layer(std::move(router), std::move(experts), 1);
+    layer.isDense_ = true;
+    return layer;
+}
+
+const Expert &
+MoeLayer::expert(std::size_t index) const
+{
+    hnlpu_assert(index < experts_.size(), "expert index range");
+    return experts_[index];
+}
+
+Vec
+MoeLayer::forward(const Vec &x_norm, ExecPath path,
+                  unsigned activation_bits,
+                  std::vector<std::size_t> *selected) const
+{
+    std::vector<std::size_t> chosen;
+    Vec gate_weights;
+    if (isDense_ || experts_.size() == 1) {
+        chosen = {0};
+        gate_weights = {1.0};
+    } else {
+        // The router always runs in reference precision: it is tiny
+        // (0.01% of weights) and replicated on every chip, and its
+        // argmax ordering must be stable across paths for the
+        // equivalence tests to be meaningful.
+        const Vec logits = router_.forward(x_norm, ExecPath::Reference);
+        chosen = topK(logits, activeExperts_);
+        Vec selected_logits(chosen.size());
+        for (std::size_t i = 0; i < chosen.size(); ++i)
+            selected_logits[i] = logits[chosen[i]];
+        gate_weights = softmax(selected_logits);
+    }
+    if (selected)
+        *selected = chosen;
+
+    Vec out(experts_[0].down.outDim(), 0.0);
+    for (std::size_t i = 0; i < chosen.size(); ++i) {
+        const Expert &ex = experts_[chosen[i]];
+        const Vec up = ex.up.forward(x_norm, path, activation_bits);
+        const Vec gate = ex.gate.forward(x_norm, path, activation_bits);
+        const Vec activated = swiGlu(gate, up);
+        Vec down = ex.down.forward(activated, path, activation_bits);
+        for (std::size_t d = 0; d < out.size(); ++d)
+            out[d] += gate_weights[i] * down[d];
+    }
+    return out;
+}
+
+} // namespace hnlpu

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Mixture-of-Experts feed-forward layer (router + SwiGLU experts).
+ *
+ * Mirrors the gpt-oss structure the paper hardwires: a replicated router
+ * projects the normalised hidden state onto expert logits, top-k experts
+ * are selected, their SwiGLU outputs are combined with softmax-normalised
+ * router weights (paper Fig. 10 (VII)-(IX)).  Dense models degenerate to
+ * one always-active expert.
+ */
+
+#ifndef HNLPU_XFORMER_MOE_HH
+#define HNLPU_XFORMER_MOE_HH
+
+#include <vector>
+
+#include "xformer/linear.hh"
+#include "xformer/tensor.hh"
+
+namespace hnlpu {
+
+/** One SwiGLU expert: up, gate and down projections. */
+struct Expert
+{
+    Linear up;
+    Linear gate;
+    Linear down;
+};
+
+/** Routed feed-forward layer. */
+class MoeLayer
+{
+  public:
+    /**
+     * @param router expert-logit projection (expert_count x hidden);
+     *        pass an empty optional-like 0-expert linear for dense nets
+     * @param experts expert list (size >= 1)
+     * @param active_experts top-k selection width
+     */
+    MoeLayer(Linear router, std::vector<Expert> experts,
+             std::size_t active_experts);
+
+    /** Dense single-expert layer (router bypassed). */
+    static MoeLayer dense(Expert expert);
+
+    /**
+     * Forward the normalised hidden state.
+     * @param selected optional out-param for the chosen expert indices
+     */
+    Vec forward(const Vec &x_norm, ExecPath path,
+                unsigned activation_bits = 8,
+                std::vector<std::size_t> *selected = nullptr) const;
+
+    std::size_t expertCount() const { return experts_.size(); }
+    std::size_t activeExperts() const { return activeExperts_; }
+
+    /** The router projection (bypassed for dense layers). */
+    const Linear &router() const { return router_; }
+    /** Expert @p index (asserted in moe.cc). */
+    const Expert &expert(std::size_t index) const;
+
+  private:
+    Linear router_;
+    std::vector<Expert> experts_;
+    std::size_t activeExperts_;
+    bool isDense_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_XFORMER_MOE_HH

@@ -1,0 +1,92 @@
+#include "xformer/ops.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+Vec
+rmsNorm(const Vec &x, const Vec &gain, double eps)
+{
+    hnlpu_assert(x.size() == gain.size(), "rmsNorm shape mismatch");
+    double mean_sq = 0.0;
+    for (double v : x)
+        mean_sq += v * v;
+    mean_sq /= static_cast<double>(x.size());
+    const double inv = 1.0 / std::sqrt(mean_sq + eps);
+    Vec out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] = x[i] * inv * gain[i];
+    return out;
+}
+
+Vec
+softmax(const Vec &logits)
+{
+    hnlpu_assert(!logits.empty(), "softmax of empty vector");
+    const double max_logit = *std::max_element(logits.begin(),
+                                               logits.end());
+    Vec out(logits.size());
+    double total = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        out[i] = std::exp(logits[i] - max_logit);
+        total += out[i];
+    }
+    for (double &v : out)
+        v /= total;
+    return out;
+}
+
+double
+silu(double x)
+{
+    return x / (1.0 + std::exp(-x));
+}
+
+Vec
+swiGlu(const Vec &gate, const Vec &up)
+{
+    hnlpu_assert(gate.size() == up.size(), "swiGlu shape mismatch");
+    Vec out(gate.size());
+    for (std::size_t i = 0; i < gate.size(); ++i)
+        out[i] = silu(gate[i]) * up[i];
+    return out;
+}
+
+void
+applyRope(Vec &head, std::size_t pos, double theta)
+{
+    hnlpu_assert(head.size() % 2 == 0, "RoPE needs even head dim");
+    const std::size_t half = head.size() / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+        const double freq = std::pow(
+            theta, -2.0 * static_cast<double>(i) /
+                       static_cast<double>(head.size()));
+        const double angle = static_cast<double>(pos) * freq;
+        const double c = std::cos(angle);
+        const double s = std::sin(angle);
+        const double a = head[2 * i];
+        const double b = head[2 * i + 1];
+        head[2 * i] = a * c - b * s;
+        head[2 * i + 1] = a * s + b * c;
+    }
+}
+
+std::vector<std::size_t>
+topK(const Vec &values, std::size_t k)
+{
+    hnlpu_assert(k <= values.size(), "topK k exceeds size");
+    std::vector<std::size_t> idx(values.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return values[a] > values[b];
+                     });
+    idx.resize(k);
+    return idx;
+}
+
+} // namespace hnlpu

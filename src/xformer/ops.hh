@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Nonlinear operators executed by the VEX unit: RMSNorm, softmax, SwiGLU,
+ * rotary position embedding.  These run in floating point on both the
+ * reference and hardwired paths (the VEX unit is a conventional vector
+ * engine; only weight-bearing projections go through the HN array).
+ */
+
+#ifndef HNLPU_XFORMER_OPS_HH
+#define HNLPU_XFORMER_OPS_HH
+
+#include "xformer/tensor.hh"
+
+namespace hnlpu {
+
+/** Root-mean-square normalisation with learned gain. */
+Vec rmsNorm(const Vec &x, const Vec &gain, double eps = 1e-5);
+
+/** Numerically stable softmax. */
+Vec softmax(const Vec &logits);
+
+/** SiLU (swish) activation, x * sigmoid(x). */
+double silu(double x);
+
+/** SwiGLU combination: silu(gate) (*) up, elementwise. */
+Vec swiGlu(const Vec &gate, const Vec &up);
+
+/**
+ * Apply rotary position embedding in place to a head vector of even
+ * dimension for absolute position @p pos (theta base 10000).
+ */
+void applyRope(Vec &head, std::size_t pos, double theta = 10000.0);
+
+/** Indices of the k largest entries, descending (ties by lower index). */
+std::vector<std::size_t> topK(const Vec &values, std::size_t k);
+
+} // namespace hnlpu
+
+#endif // HNLPU_XFORMER_OPS_HH

@@ -1,0 +1,47 @@
+#include "xformer/sampler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "xformer/ops.hh"
+
+namespace hnlpu {
+
+Sampler::Sampler(SamplerConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed)
+{
+    hnlpu_assert(cfg_.temperature >= 0.0, "negative temperature");
+}
+
+std::size_t
+Sampler::sample(const Vec &logits)
+{
+    hnlpu_assert(!logits.empty(), "sampling from empty logits");
+    if (cfg_.temperature == 0.0) {
+        return static_cast<std::size_t>(
+            std::max_element(logits.begin(), logits.end()) -
+            logits.begin());
+    }
+
+    Vec scaled(logits.size());
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        scaled[i] = logits[i] / cfg_.temperature;
+
+    std::vector<std::size_t> candidates;
+    if (cfg_.topK > 0 && cfg_.topK < logits.size()) {
+        candidates = topK(scaled, cfg_.topK);
+    } else {
+        candidates.resize(logits.size());
+        for (std::size_t i = 0; i < logits.size(); ++i)
+            candidates[i] = i;
+    }
+
+    Vec candidate_logits(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+        candidate_logits[i] = scaled[candidates[i]];
+    const Vec probs = softmax(candidate_logits);
+    const std::size_t pick = rng_.weightedIndex(probs);
+    return candidates[pick];
+}
+
+} // namespace hnlpu

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Token sampling strategies (the paper's "logit sampling" unit).
+ */
+
+#ifndef HNLPU_XFORMER_SAMPLER_HH
+#define HNLPU_XFORMER_SAMPLER_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "xformer/tensor.hh"
+
+namespace hnlpu {
+
+/** Sampling policy. */
+struct SamplerConfig
+{
+    /** 0 temperature == greedy argmax. */
+    double temperature = 0.0;
+    /** Restrict multinomial sampling to the top-k logits (0 == all). */
+    std::size_t topK = 0;
+};
+
+/** Draws token ids from logits. */
+class Sampler
+{
+  public:
+    Sampler(SamplerConfig cfg, std::uint64_t seed);
+
+    /** Sample the next token id from raw logits. */
+    std::size_t sample(const Vec &logits);
+
+    const SamplerConfig &config() const { return cfg_; }
+
+  private:
+    SamplerConfig cfg_;
+    Rng rng_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_XFORMER_SAMPLER_HH

@@ -1,0 +1,100 @@
+#include "xformer/tensor.hh"
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+Mat::Mat(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+double &
+Mat::at(std::size_t r, std::size_t c)
+{
+    hnlpu_assert(r < rows_ && c < cols_, "Mat index out of range");
+    return data_[r * cols_ + c];
+}
+
+double
+Mat::at(std::size_t r, std::size_t c) const
+{
+    hnlpu_assert(r < rows_ && c < cols_, "Mat index out of range");
+    return data_[r * cols_ + c];
+}
+
+Vec
+Mat::row(std::size_t r) const
+{
+    hnlpu_assert(r < rows_, "Mat row out of range");
+    return Vec(data_.begin() + r * cols_, data_.begin() + (r + 1) * cols_);
+}
+
+Vec
+matVec(const Mat &m, const Vec &x)
+{
+    hnlpu_assert(x.size() == m.cols(), "matVec shape mismatch: ",
+                 x.size(), " vs ", m.cols());
+    Vec y(m.rows(), 0.0);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        double acc = 0.0;
+        const double *row = m.data().data() + r * m.cols();
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            acc += row[c] * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+Vec
+matTVec(const Mat &m, const Vec &x)
+{
+    hnlpu_assert(x.size() == m.rows(), "matTVec shape mismatch");
+    Vec y(m.cols(), 0.0);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        const double xv = x[r];
+        const double *row = m.data().data() + r * m.cols();
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            y[c] += row[c] * xv;
+    }
+    return y;
+}
+
+Vec
+add(const Vec &a, const Vec &b)
+{
+    hnlpu_assert(a.size() == b.size(), "add shape mismatch");
+    Vec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] + b[i];
+    return out;
+}
+
+Vec
+hadamard(const Vec &a, const Vec &b)
+{
+    hnlpu_assert(a.size() == b.size(), "hadamard shape mismatch");
+    Vec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] * b[i];
+    return out;
+}
+
+double
+dot(const Vec &a, const Vec &b)
+{
+    hnlpu_assert(a.size() == b.size(), "dot shape mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+void
+scale(Vec &v, double s)
+{
+    for (double &x : v)
+        x *= s;
+}
+
+} // namespace hnlpu

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal dense tensor types for the functional transformer engine.
+ *
+ * The functional engine only needs vectors and row-major matrices of
+ * doubles; shapes are validated at use sites.  This is deliberately not a
+ * general tensor library -- the HNLPU executes fixed shapes, and keeping
+ * the types small keeps the bit-exactness arguments auditable.
+ */
+
+#ifndef HNLPU_XFORMER_TENSOR_HH
+#define HNLPU_XFORMER_TENSOR_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace hnlpu {
+
+using Vec = std::vector<double>;
+
+/** Row-major matrix of doubles. */
+class Mat
+{
+  public:
+    Mat() = default;
+    Mat(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double &at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+    /** Row r as a copy. */
+    Vec row(std::size_t r) const;
+
+    const std::vector<double> &data() const { return data_; }
+    std::vector<double> &data() { return data_; }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/** y = M x (M rows x cols, x of size cols). */
+Vec matVec(const Mat &m, const Vec &x);
+
+/** y = M^T x (x of size rows). */
+Vec matTVec(const Mat &m, const Vec &x);
+
+/** Elementwise a + b. */
+Vec add(const Vec &a, const Vec &b);
+
+/** Elementwise a * b. */
+Vec hadamard(const Vec &a, const Vec &b);
+
+/** Dot product. */
+double dot(const Vec &a, const Vec &b);
+
+/** Scale in place. */
+void scale(Vec &v, double s);
+
+} // namespace hnlpu
+
+#endif // HNLPU_XFORMER_TENSOR_HH

@@ -1,0 +1,84 @@
+#include "xformer/weights.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace hnlpu {
+
+namespace {
+
+/** Guard against instantiating production-scale weights in memory. */
+constexpr std::uint64_t kMaxInstantiableParams = 64ULL << 20; // 64M
+
+Vec
+randomGain(std::size_t n, Rng &rng)
+{
+    Vec gain(n);
+    for (double &g : gain)
+        g = 1.0 + 0.1 * rng.gaussian();
+    return gain;
+}
+
+} // namespace
+
+ModelWeights
+ModelWeights::randomInit(const TransformerConfig &cfg, std::uint64_t seed)
+{
+    cfg.validate();
+    hnlpu_assert(cfg.totalParams() <= kMaxInstantiableParams,
+                 cfg.name, " too large to instantiate functionally (",
+                 cfg.totalParams(), " params); use a tiny config");
+
+    Rng rng(seed);
+    const std::size_t d = cfg.hiddenSize;
+    const std::size_t q = cfg.qProjectionDim();
+    const std::size_t kv = cfg.kvProjectionDim();
+
+    ModelWeights w{
+        Mat(cfg.vocabSize, d),
+        {},
+        randomGain(d, rng),
+        Linear::random(cfg.vocabSize, d, rng.next()),
+    };
+
+    // Embedding rows: unit-scale, FP4-snapped so both execution paths see
+    // the identical dequantised table.
+    for (std::size_t t = 0; t < cfg.vocabSize; ++t) {
+        for (std::size_t c = 0; c < d; ++c) {
+            w.embedding.at(t, c) =
+                Fp4::quantize(rng.gaussian(0.0, 1.5)).value();
+        }
+    }
+
+    w.blocks.reserve(cfg.layerCount);
+    for (std::size_t layer = 0; layer < cfg.layerCount; ++layer) {
+        std::vector<Expert> experts;
+        experts.reserve(cfg.expertCount);
+        for (std::size_t e = 0; e < cfg.expertCount; ++e) {
+            experts.push_back(Expert{
+                Linear::random(cfg.expertHidden, d, rng.next()),
+                Linear::random(cfg.expertHidden, d, rng.next()),
+                Linear::random(d, cfg.expertHidden, rng.next()),
+            });
+        }
+        MoeLayer ffn =
+            cfg.expertCount > 1
+                ? MoeLayer(Linear::random(cfg.expertCount, d,
+                                          rng.next()),
+                           std::move(experts), cfg.activeExperts)
+                : MoeLayer::dense(std::move(experts.front()));
+
+        w.blocks.push_back(BlockWeights{
+            randomGain(d, rng),
+            Linear::random(q, d, rng.next()),
+            Linear::random(kv, d, rng.next()),
+            Linear::random(kv, d, rng.next()),
+            Linear::random(d, q, rng.next()),
+            randomGain(d, rng),
+            std::move(ffn),
+        });
+    }
+    return w;
+}
+
+} // namespace hnlpu

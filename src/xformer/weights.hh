@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Container for a full model's (FP4) weights.
+ *
+ * Real gpt-oss checkpoints are not available offline and would not fit a
+ * laptop-scale functional run anyway; randomInit() synthesises weights
+ * with the right shapes and a trained-LLM-like value histogram (see
+ * DESIGN.md).  All weight-bearing projections are Linear (FP4 + optional
+ * HN array); the embedding table is a plain dequantised matrix because
+ * embedding lookup is an HBM fetch, not an HN operation (paper Fig. 10
+ * (I)).
+ */
+
+#ifndef HNLPU_XFORMER_WEIGHTS_HH
+#define HNLPU_XFORMER_WEIGHTS_HH
+
+#include <vector>
+
+#include "model/transformer_config.hh"
+#include "xformer/linear.hh"
+#include "xformer/moe.hh"
+#include "xformer/tensor.hh"
+
+namespace hnlpu {
+
+/** Weights of one transformer block. */
+struct BlockWeights
+{
+    Vec attnNormGain;
+    Linear wq;
+    Linear wk;
+    Linear wv;
+    Linear wo;
+    Vec ffnNormGain;
+    MoeLayer ffn;
+};
+
+/** Weights of the whole model. */
+struct ModelWeights
+{
+    Mat embedding;            //!< vocab x hidden (HBM resident)
+    std::vector<BlockWeights> blocks;
+    Vec finalNormGain;
+    Linear unembedding;       //!< vocab x hidden (hardwired Wue)
+
+    /**
+     * Synthesize a full set of weights for @p cfg.  Deterministic in
+     * @p seed.  Intended for tiny configs; fatal above a size guard to
+     * protect against accidentally instantiating a 120 B model.
+     */
+    static ModelWeights randomInit(const TransformerConfig &cfg,
+                                   std::uint64_t seed);
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_XFORMER_WEIGHTS_HH

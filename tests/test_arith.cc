@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit and property tests for the arithmetic substrate: FP4 codec,
+ * carry-save reduction, bit-serial streaming and quantisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "arith/bitserial.hh"
+#include "arith/csa.hh"
+#include "arith/fp4.hh"
+#include "arith/quantize.hh"
+#include "common/math_util.hh"
+#include "common/rng.hh"
+
+namespace hnlpu {
+namespace {
+
+TEST(Fp4, ValueTableMatchesE2M1)
+{
+    // Positive magnitudes: 0, 0.5, 1, 1.5, 2, 3, 4, 6.
+    const double expected[8] = {0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0};
+    for (int code = 0; code < 8; ++code) {
+        EXPECT_DOUBLE_EQ(Fp4::fromCode(code).value(), expected[code])
+            << "code " << code;
+        EXPECT_DOUBLE_EQ(Fp4::fromCode(code | 8).value(),
+                         -expected[code])
+            << "code " << (code | 8);
+    }
+}
+
+TEST(Fp4, TwiceValueIsExactInteger)
+{
+    for (int code = 0; code < kFp4Codes; ++code) {
+        Fp4 w = Fp4::fromCode(code);
+        EXPECT_DOUBLE_EQ(static_cast<double>(w.twiceValue()),
+                         w.value() * 2.0);
+    }
+}
+
+TEST(Fp4, QuantizeRoundTripOnCodes)
+{
+    for (int code = 0; code < kFp4Codes; ++code) {
+        Fp4 w = Fp4::fromCode(code);
+        Fp4 q = Fp4::quantize(w.value());
+        EXPECT_DOUBLE_EQ(q.value(), w.value()) << "code " << code;
+    }
+}
+
+TEST(Fp4, QuantizeSaturatesAndPicksNearest)
+{
+    EXPECT_DOUBLE_EQ(Fp4::quantize(100.0).value(), 6.0);
+    EXPECT_DOUBLE_EQ(Fp4::quantize(-100.0).value(), -6.0);
+    EXPECT_DOUBLE_EQ(Fp4::quantize(2.4).value(), 2.0);
+    EXPECT_DOUBLE_EQ(Fp4::quantize(2.6).value(), 3.0);
+    EXPECT_DOUBLE_EQ(Fp4::quantize(0.2).value(), 0.0);
+    EXPECT_TRUE(Fp4::quantize(0.0).isZero());
+}
+
+TEST(Fp4, ZeroCodes)
+{
+    EXPECT_TRUE(Fp4::fromCode(0).isZero());
+    EXPECT_TRUE(Fp4::fromCode(8).isZero());
+    EXPECT_FALSE(Fp4::fromCode(1).isZero());
+}
+
+TEST(Csa, CompressPreservesSum)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 1000; ++trial) {
+        std::int64_t a = rng.uniformInt(-1'000'000, 1'000'000);
+        std::int64_t b = rng.uniformInt(-1'000'000, 1'000'000);
+        std::int64_t c = rng.uniformInt(-1'000'000, 1'000'000);
+        CsaPair p = csaCompress(a, b, c);
+        EXPECT_EQ(p.sum + p.carry, a + b + c);
+    }
+}
+
+TEST(Csa, ReduceMatchesAccumulate)
+{
+    Rng rng(2);
+    for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 7u, 16u, 33u, 100u, 257u}) {
+        std::vector<std::int64_t> ops(n);
+        std::int64_t expected = 0;
+        for (auto &v : ops) {
+            v = rng.uniformInt(-1'000'000, 1'000'000);
+            expected += v;
+        }
+        EXPECT_EQ(csaReduce(ops), expected) << "n=" << n;
+    }
+}
+
+TEST(Csa, TreeShapeBasics)
+{
+    EXPECT_EQ(csaTreeShape(0).compressorCount, 0u);
+    EXPECT_EQ(csaTreeShape(2).compressorCount, 0u);
+    EXPECT_EQ(csaTreeShape(3).compressorCount, 1u);
+    EXPECT_EQ(csaTreeShape(3).depth, 1u);
+    // Wallace: each level removes floor(rows/3) rows.
+    CsaTreeShape s = csaTreeShape(16);
+    EXPECT_GT(s.compressorCount, 0u);
+    EXPECT_GE(s.depth, 4u); // 16->11->8->6->4->3->2 is 6 levels
+}
+
+TEST(Csa, PopcountAdderCountBounds)
+{
+    // The theoretical minimum is n - popcount(n) full adders; our greedy
+    // column compressor may spend a few extra half adders but must stay
+    // within a small constant factor (it feeds the area model).
+    EXPECT_EQ(popcountAdderCount(1), 0u);
+    EXPECT_EQ(popcountAdderCount(2), 1u);
+    EXPECT_EQ(popcountAdderCount(3), 1u);
+    EXPECT_EQ(popcountAdderCount(4), 3u);
+    for (std::size_t n : {8u, 16u, 64u, 256u, 1024u}) {
+        EXPECT_GE(popcountAdderCount(n), n - 1 - floorLog2(n))
+            << "n=" << n;
+        EXPECT_LE(popcountAdderCount(n), n + n / 4) << "n=" << n;
+    }
+    EXPECT_GT(popcountDepth(256), popcountDepth(16));
+}
+
+TEST(Csa, PopcountFunctional)
+{
+    std::vector<bool> bits{true, false, true, true, false};
+    EXPECT_EQ(popcount(bits), 3u);
+    EXPECT_EQ(popcount({}), 0u);
+}
+
+class BitSerialProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BitSerialProperty, SerialSumEqualsDirectSum)
+{
+    const unsigned width = GetParam();
+    Rng rng(width);
+    const std::int64_t lo = -(std::int64_t(1) << (width - 1));
+    const std::int64_t hi = (std::int64_t(1) << (width - 1)) - 1;
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 1 + rng.nextBelow(100);
+        std::vector<std::int64_t> values(n);
+        std::int64_t expected = 0;
+        for (auto &v : values) {
+            v = rng.uniformInt(lo, hi);
+            expected += v;
+        }
+        BitSerializer ser(values, width);
+        SerialAccumulator acc;
+        for (unsigned bit = 0; bit < width; ++bit) {
+            auto plane = ser.plane(bit);
+            std::int64_t count = 0;
+            for (bool b : plane)
+                count += b;
+            acc.addPlane(bit, ser.isSignPlane(bit), count);
+        }
+        EXPECT_EQ(acc.total(), expected)
+            << "width=" << width << " trial=" << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitSerialProperty,
+                         ::testing::Values(2u, 4u, 8u, 12u, 16u, 24u));
+
+TEST(BitSerial, CyclesFormula)
+{
+    EXPECT_EQ(bitSerialCycles(8, 4), 12u);
+    EXPECT_EQ(bitSerialCycles(1 + 1, 0), 2u);
+}
+
+TEST(BitSerialDeathTest, RejectsOutOfRangeValues)
+{
+    EXPECT_DEATH(BitSerializer({200}, 8), "does not fit");
+}
+
+TEST(Csd, DigitsReconstructValue)
+{
+    for (std::int64_t m = -40; m <= 40; ++m) {
+        auto digits = csdDigits(m);
+        std::int64_t value = 0;
+        for (std::size_t i = 0; i < digits.size(); ++i)
+            value += digits[i] * (std::int64_t(1) << i);
+        EXPECT_EQ(value, m) << "m=" << m;
+        // CSD property: no two adjacent nonzero digits.
+        for (std::size_t i = 0; i + 1 < digits.size(); ++i)
+            EXPECT_FALSE(digits[i] != 0 && digits[i + 1] != 0)
+                << "m=" << m;
+    }
+}
+
+TEST(Csd, AdderCountsForFp4Constants)
+{
+    // All doubled FP4 magnitudes need at most one adder.
+    for (int code = 0; code < kFp4Codes; ++code) {
+        int m = Fp4::fromCode(code).twiceValue();
+        EXPECT_LE(csdAdderCount(m), 1u) << "2w=" << m;
+    }
+    EXPECT_EQ(csdAdderCount(0), 0u);
+    EXPECT_EQ(csdAdderCount(8), 0u);  // power of two
+    EXPECT_EQ(csdAdderCount(12), 1u); // 8 + 4
+    EXPECT_EQ(csdAdderCount(45), 3u); // e.g. 32+16-4+1
+}
+
+TEST(Quantize, RoundTripWithinBound)
+{
+    Rng rng(3);
+    for (unsigned width : {4u, 8u, 12u}) {
+        std::vector<double> reals(256);
+        double abs_max = 0.0;
+        for (auto &r : reals) {
+            r = rng.gaussian(0.0, 2.0);
+            abs_max = std::max(abs_max, std::fabs(r));
+        }
+        auto q = quantizeSymmetric(reals, width);
+        auto back = dequantize(q);
+        const double bound = quantizeErrorBound(abs_max, width) + 1e-12;
+        for (std::size_t i = 0; i < reals.size(); ++i)
+            EXPECT_NEAR(back[i], reals[i], bound) << "width " << width;
+    }
+}
+
+TEST(Quantize, AllZeros)
+{
+    auto q = quantizeSymmetric(std::vector<double>(8, 0.0), 8);
+    EXPECT_DOUBLE_EQ(q.scale, 1.0);
+    for (auto v : q.values)
+        EXPECT_EQ(v, 0);
+}
+
+TEST(Quantize, MaxMapsToMaxCode)
+{
+    auto q = quantizeSymmetric({-1.0, 0.5, 1.0}, 8);
+    EXPECT_EQ(q.values[2], 127);
+    EXPECT_EQ(q.values[0], -127);
+}
+
+} // namespace
+} // namespace hnlpu

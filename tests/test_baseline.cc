@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the H100 / WSE-3 baseline models, anchored to the paper's
+ * Table 2 measurements.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/gpu.hh"
+#include "baseline/wse.hh"
+#include "model/model_zoo.hh"
+
+namespace hnlpu {
+namespace {
+
+TEST(GpuBaseline, Table2Anchors)
+{
+    GpuSystemModel gpu;
+    const auto model = gptOss120b();
+    // Paper: 45 tokens/s, 34.6 tokens/kJ, 0.055 tokens/(s mm^2).
+    EXPECT_NEAR(gpu.tokensPerSecond(model), 45.0, 2.0);
+    EXPECT_NEAR(gpu.tokensPerKilojoule(model), 34.6, 1.5);
+    EXPECT_NEAR(gpu.areaEfficiency(model), 0.055, 0.004);
+}
+
+TEST(GpuBaseline, RooflineAboveMeasured)
+{
+    GpuSystemModel gpu;
+    const auto model = gptOss120b();
+    EXPECT_GT(gpu.rooflineTokensPerSecond(model),
+              gpu.tokensPerSecond(model));
+    // Ideal: 3.35 TB/s over ~2.57 GB active weights ~ 1.31 k tok/s.
+    EXPECT_NEAR(gpu.rooflineTokensPerSecond(model), 1306.0, 80.0);
+}
+
+TEST(GpuBaseline, FitsChecksCapacity)
+{
+    GpuSystemModel gpu;
+    EXPECT_TRUE(gpu.fits(gptOss120b()));  // ~58 GB in 80 GB
+    EXPECT_FALSE(gpu.fits(kimiK2()));     // ~520 GB
+}
+
+TEST(GpuBaseline, SmallerModelsRunFaster)
+{
+    GpuSystemModel gpu;
+    EXPECT_GT(gpu.tokensPerSecond(llama3_8b()),
+              gpu.tokensPerSecond(qwq32b()));
+    EXPECT_GT(gpu.tokensPerSecond(qwq32b()),
+              gpu.rooflineTokensPerSecond(qwq32b()) * 0.01);
+}
+
+TEST(GpuBaseline, BandwidthSweepScalesThroughput)
+{
+    GpuParams fast;
+    fast.memoryBandwidth = 6.7e12; // 2x
+    GpuSystemModel base, doubled(fast);
+    const auto model = gptOss120b();
+    EXPECT_NEAR(doubled.tokensPerSecond(model),
+                2.0 * base.tokensPerSecond(model), 1.0);
+}
+
+TEST(WseBaseline, Table2Anchors)
+{
+    WseSystemModel wse;
+    const auto model = gptOss120b();
+    // Paper: 2,940 tokens/s, 127.8 tokens/kJ, 0.064 tokens/(s mm^2).
+    EXPECT_NEAR(wse.tokensPerSecond(model), 2940.0, 100.0);
+    EXPECT_NEAR(wse.tokensPerKilojoule(model), 127.8, 5.0);
+    EXPECT_NEAR(wse.areaEfficiency(model), 0.064, 0.004);
+}
+
+TEST(WseBaseline, GptOssExceedsOnWaferSram)
+{
+    WseSystemModel wse;
+    EXPECT_FALSE(wse.fitsOnWafer(gptOss120b())); // 58 GB > 44 GB
+    EXPECT_TRUE(wse.fitsOnWafer(llama3_8b()));   // 4 GB
+}
+
+TEST(Baselines, PaperSpeedupRatiosHold)
+{
+    GpuSystemModel gpu;
+    WseSystemModel wse;
+    const auto model = gptOss120b();
+    // WSE-3 is ~65x faster than H100 on this workload (2,940 / 45).
+    EXPECT_NEAR(wse.tokensPerSecond(model) / gpu.tokensPerSecond(model),
+                65.3, 5.0);
+}
+
+} // namespace
+} // namespace hnlpu

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the single-chip timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/timing.hh"
+#include "model/model_zoo.hh"
+
+namespace hnlpu {
+namespace {
+
+class ChipTimingTest : public ::testing::Test
+{
+  protected:
+    ChipTiming timing_{makePartition(gptOss120b()), ChipTimingParams{}};
+};
+
+TEST_F(ChipTimingTest, HnGemvScalesWithFanIn)
+{
+    const Tick small = timing_.hnGemvTicks(64);
+    const Tick medium = timing_.hnGemvTicks(720);
+    const Tick large = timing_.hnGemvTicks(2880);
+    EXPECT_LT(small, medium);
+    EXPECT_LT(medium, large);
+    // 2880 inputs / 64 ports * 8 bits = 360 serial cycles (+ drain).
+    EXPECT_NEAR(toSeconds(large), 384e-9, 10e-9);
+}
+
+TEST_F(ChipTimingTest, HnGemvIndependentOfFanOut)
+{
+    // Every output neuron is dedicated hardware: only fan-in matters.
+    EXPECT_EQ(timing_.hnGemvTicks(720), timing_.hnGemvTicks(720));
+}
+
+TEST_F(ChipTimingTest, AttentionLinearInContext)
+{
+    const Tick at_2k = timing_.vexAttentionTicks(2048);
+    const Tick at_8k = timing_.vexAttentionTicks(8192);
+    EXPECT_NEAR(double(at_8k), 4.0 * double(at_2k),
+                0.1 * double(at_8k));
+}
+
+TEST_F(ChipTimingTest, NonlinearIndependentOfContext)
+{
+    EXPECT_GT(timing_.vexNonlinearTicks(), 0u);
+    // Softmax streaming does scale with context.
+    EXPECT_GT(timing_.vexSoftmaxTicks(65536),
+              timing_.vexSoftmaxTicks(2048));
+}
+
+TEST_F(ChipTimingTest, HbmStallHiddenWhenFast)
+{
+    const Tick attn = toTicks(10e-6);
+    // HBM finishing inside 90% of attention is fully hidden.
+    EXPECT_EQ(timing_.hbmStallTicks(toTicks(8e-6), attn), 0u);
+    // Slower HBM leaves a residual stall.
+    EXPECT_EQ(timing_.hbmStallTicks(toTicks(12e-6), attn),
+              toTicks(3e-6));
+}
+
+TEST_F(ChipTimingTest, KvStreamUsesConfiguredBandwidth)
+{
+    ChipTimingParams params;
+    params.kvStreamBandwidth = 1e12;
+    ChipTiming t(makePartition(gptOss120b()), params);
+    EXPECT_EQ(t.kvStreamTicks(1e6), toTicks(1e-6));
+    EXPECT_EQ(t.kvStreamTicks(0.0), 0u);
+}
+
+TEST(SlidingWindow, GptOssAlternatesLayers)
+{
+    const auto cfg = gptOss120b();
+    EXPECT_EQ(cfg.slidingLayerCount(), 18u);
+    EXPECT_EQ(cfg.fullAttentionLayerCount(), 18u);
+    std::size_t sliding = 0;
+    for (std::size_t l = 0; l < cfg.layerCount; ++l) {
+        if (cfg.isSlidingLayer(l))
+            ++sliding;
+    }
+    EXPECT_EQ(sliding, 18u);
+    // Window caps the effective context.
+    EXPECT_EQ(cfg.layerContext(1, 65536),
+              cfg.isSlidingLayer(1) ? 128u : 65536u);
+    // A dense-attention model has no sliding layers.
+    EXPECT_EQ(llama3_8b().slidingLayerCount(), 0u);
+    EXPECT_FALSE(llama3_8b().isSlidingLayer(0));
+}
+
+} // namespace
+} // namespace hnlpu

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the common utility library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/math_util.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+namespace hnlpu {
+namespace {
+
+TEST(Units, TickRoundTrip)
+{
+    EXPECT_EQ(toTicks(1.0), kTicksPerSecond);
+    EXPECT_DOUBLE_EQ(toSeconds(kTicksPerSecond), 1.0);
+    EXPECT_EQ(toTicks(0.0), 0u);
+    EXPECT_NEAR(toSeconds(toTicks(12.345e-6)), 12.345e-6, 1e-12);
+}
+
+TEST(Units, SiString)
+{
+    EXPECT_EQ(siString(249960.0, "tok/s"), "249.96 ktok/s");
+    EXPECT_EQ(siString(0.0, "W"), "0 W");
+    EXPECT_EQ(siString(1.5e-9, "J", 2), "1.5 nJ");
+    EXPECT_EQ(siString(6.9e3, "W", 2), "6.9 kW");
+}
+
+TEST(Units, DollarString)
+{
+    EXPECT_EQ(dollarString(59.46e6), "$ 59.46M");
+    EXPECT_EQ(dollarString(6e9, 1), "$ 6G");
+    EXPECT_EQ(dollarString(780.0, 3), "$ 780");
+}
+
+TEST(Units, CommaString)
+{
+    EXPECT_EQ(commaString(249960.0), "249,960");
+    EXPECT_EQ(commaString(45.0), "45");
+    EXPECT_EQ(commaString(1234567.891, 2), "1,234,567.89");
+    EXPECT_EQ(commaString(-1234.0), "-1,234");
+    EXPECT_EQ(commaString(0.0), "0");
+}
+
+TEST(Units, RatioAndPercent)
+{
+    EXPECT_EQ(ratioString(5555.0, 0), "5,555x");
+    EXPECT_EQ(percentString(0.829), "82.9%");
+}
+
+TEST(MathUtil, CeilDivRoundUp)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(roundUp(10, 8), 16);
+    EXPECT_EQ(roundUp(16, 8), 16);
+}
+
+TEST(MathUtil, Log2Helpers)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(65));
+    EXPECT_FALSE(isPow2(0));
+}
+
+TEST(MathUtil, RelativeDiff)
+{
+    EXPECT_NEAR(relativeDiff(100.0, 110.0), 10.0 / 110.0, 1e-12);
+    EXPECT_DOUBLE_EQ(relativeDiff(0.0, 0.0), 0.0);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, Uniform01InRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform01();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        std::int64_t v = rng.uniformInt(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, WeightedIndexBias)
+{
+    Rng rng(13);
+    std::vector<double> weights{1.0, 3.0};
+    int ones = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (rng.weightedIndex(weights) == 1)
+            ++ones;
+    }
+    EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(Rng, PermutationIsPermutation)
+{
+    Rng rng(17);
+    auto perm = rng.permutation(100);
+    std::set<std::size_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), 100u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Table, RendersAlignedRows)
+{
+    Table t({"Metric", "Value"});
+    t.addRow({"Throughput", "249,960"});
+    t.addSeparator();
+    t.addRow({"Power", "6.9 kW"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("Throughput"), std::string::npos);
+    EXPECT_NE(out.find("249,960"), std::string::npos);
+    EXPECT_NE(out.find("+"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 3u);
+}
+
+TEST(TableDeathTest, RowArityMismatch)
+{
+    Table t({"A", "B"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+} // namespace
+} // namespace hnlpu

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Integration tests of the HnlpuDesign facade: the full Table 2
+ * comparison, Table 1 components and cross-model consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/design.hh"
+#include "model/model_zoo.hh"
+
+namespace hnlpu {
+namespace {
+
+TEST(Design, Table2SystemComparison)
+{
+    HnlpuDesign design(gptOss120b());
+    const auto hn = design.summarize();
+    const auto gpu = design.h100Baseline();
+    const auto wse = design.wseBaseline();
+
+    // Paper Table 2 headline numbers.
+    EXPECT_NEAR(hn.tokensPerSecond, 249960.0, 0.05 * 249960.0);
+    EXPECT_NEAR(hn.siliconArea, 13232.0, 70.0);
+    EXPECT_NEAR(hn.systemPower, 6900.0, 100.0);
+    EXPECT_NEAR(hn.tokensPerKilojoule, 36226.0, 2000.0);
+    EXPECT_NEAR(hn.areaEfficiency, 18.89, 1.2);
+
+    // Speedups: 5,555x over H100, 85x over WSE-3 (within 10%).
+    const double vs_gpu = hn.tokensPerSecond / gpu.tokensPerSecond;
+    const double vs_wse = hn.tokensPerSecond / wse.tokensPerSecond;
+    EXPECT_NEAR(vs_gpu, 5555.0, 555.0);
+    EXPECT_NEAR(vs_wse, 85.0, 9.0);
+
+    // Energy efficiency: 1,047x over H100, 283x over WSE-3.
+    EXPECT_NEAR(hn.tokensPerKilojoule / gpu.tokensPerKilojoule, 1047.0,
+                110.0);
+    EXPECT_NEAR(hn.tokensPerKilojoule / wse.tokensPerKilojoule, 283.0,
+                30.0);
+}
+
+TEST(Design, EvaluateProducesAllSections)
+{
+    HnlpuDesign design(gptOss120b());
+    const auto report = design.evaluate();
+    EXPECT_EQ(report.chipComponents.size(), 6u);
+    EXPECT_GT(report.pipeline.tokensPerSecond, 0.0);
+    EXPECT_EQ(report.cost.chipCount, 16u);
+    EXPECT_EQ(report.summary.tokensPerSecond,
+              report.pipeline.tokensPerSecond);
+}
+
+TEST(Design, SmallerSiblingModel)
+{
+    HnlpuDesign design(gptOss20b());
+    const auto report = design.evaluate();
+    // Fewer layers -> fewer pipeline slots, smaller silicon.
+    EXPECT_EQ(report.pipeline.pipelineSlots, 6u * 24u + 1u);
+    HnlpuDesign big(gptOss120b());
+    EXPECT_LT(report.summary.siliconArea,
+              big.floorplan().systemSiliconArea());
+}
+
+TEST(Design, CostModelAccessible)
+{
+    HnlpuDesign design(gptOss120b());
+    const auto tco = design.tcoModel().hnlpu(gptOss120b(), 1);
+    EXPECT_GT(tco.tcoStatic.lo, 50e6);
+    EXPECT_LT(tco.tcoStatic.hi, 150e6);
+}
+
+} // namespace
+} // namespace hnlpu

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the NRE / TCO / carbon models, pinned against the paper's
+ * Table 3, Table 4 and Table 5.
+ */
+
+#include <gtest/gtest.h>
+
+#include "econ/carbon.hh"
+#include "econ/nre.hh"
+#include "econ/tco.hh"
+#include "model/model_zoo.hh"
+
+namespace hnlpu {
+namespace {
+
+HnlpuCostModel
+makeModel()
+{
+    return HnlpuCostModel(n5Technology(), MaskStack{});
+}
+
+TEST(NreTest, Table5RecurringCosts)
+{
+    const auto bd = makeModel().breakdown(gptOss120b());
+    EXPECT_EQ(bd.chipCount, 16u);
+    EXPECT_NEAR(bd.waferPerChip, 629.0, 25.0);
+    EXPECT_NEAR(bd.packageTestPerChip.lo, 111.0, 6.0);
+    EXPECT_NEAR(bd.packageTestPerChip.hi, 185.0, 10.0);
+    EXPECT_NEAR(bd.hbmPerChip.lo, 1920.0, 1.0);
+    EXPECT_NEAR(bd.hbmPerChip.hi, 3840.0, 1.0);
+    EXPECT_NEAR(bd.systemIntegrationPerChip.lo, 1900.0, 1.0);
+    EXPECT_NEAR(bd.systemIntegrationPerChip.hi, 3800.0, 1.0);
+    // Aggregate recurring per chip: ~$4.56k..$8.45k.
+    EXPECT_NEAR(bd.recurringPerChip().lo, 4560.0, 50.0);
+    EXPECT_NEAR(bd.recurringPerChip().hi, 8454.0, 60.0);
+}
+
+TEST(NreTest, Table5NonRecurring)
+{
+    const auto bd = makeModel().breakdown(gptOss120b());
+    EXPECT_NEAR(bd.homogeneousMask.lo, 13.85e6, 0.05e6);
+    EXPECT_NEAR(bd.homogeneousMask.hi, 27.69e6, 0.05e6);
+    EXPECT_NEAR(bd.metalEmbeddingMask.lo, 18.46e6, 0.1e6);
+    EXPECT_NEAR(bd.metalEmbeddingMask.hi, 36.92e6, 0.1e6);
+    EXPECT_NEAR(bd.designDevelopment.lo, 26.87e6, 0.1e6);
+    EXPECT_NEAR(bd.designDevelopment.hi, 58.54e6, 0.1e6);
+}
+
+TEST(NreTest, Table5BuildScenarios)
+{
+    const auto bd = makeModel().breakdown(gptOss120b());
+    // Initial build: $59.25M..$123.3M (1 node), $62.83M..$129.9M (50).
+    EXPECT_NEAR(bd.initialBuild(1).lo, 59.25e6, 0.3e6);
+    EXPECT_NEAR(bd.initialBuild(1).hi, 123.3e6, 0.5e6);
+    EXPECT_NEAR(bd.initialBuild(50).lo, 62.83e6, 0.3e6);
+    EXPECT_NEAR(bd.initialBuild(50).hi, 129.9e6, 0.6e6);
+    // Re-spin: $18.53M..$37.06M (1), $22.11M..$43.68M (50).
+    EXPECT_NEAR(bd.respin(1).lo, 18.53e6, 0.1e6);
+    EXPECT_NEAR(bd.respin(1).hi, 37.06e6, 0.2e6);
+    EXPECT_NEAR(bd.respin(50).lo, 22.11e6, 0.2e6);
+    EXPECT_NEAR(bd.respin(50).hi, 43.68e6, 0.3e6);
+}
+
+TEST(NreTest, Section22Strawman)
+{
+    // Straightforward hardwiring: photomasks valued over $6 B.
+    const Dollars strawman =
+        makeModel().strawmanMaskCost(gptOss120b());
+    EXPECT_GT(strawman, 6e9);
+    EXPECT_LT(strawman, 7e9);
+    // Metal-Embedding reduces mask cost by ~two orders of magnitude
+    // (the paper headline: 112x).
+    const auto bd = makeModel().breakdown(gptOss120b());
+    const double reduction = strawman / bd.totalNre().mid();
+    EXPECT_GT(reduction, 50.0);
+}
+
+TEST(NreTest, Table4ModelScaling)
+{
+    const auto model = makeModel();
+    // Paper Table 4 midpoints: Kimi 462, DeepSeek 353, QwQ 69,
+    // Llama-3 38 (M$).  Our fitted fixed+per-chip+design-scaling model
+    // lands within ~25% (the paper does not specify its derivation);
+    // the ordering and rough magnitudes must hold.
+    const double kimi = model.breakdown(kimiK2()).totalNre().mid();
+    const double dsv3 = model.breakdown(deepSeekV3()).totalNre().mid();
+    const double qwq = model.breakdown(qwq32b()).totalNre().mid();
+    const double llama = model.breakdown(llama3_8b()).totalNre().mid();
+    EXPECT_NEAR(kimi, 462e6, 0.25 * 462e6);
+    EXPECT_NEAR(dsv3, 353e6, 0.25 * 353e6);
+    EXPECT_NEAR(qwq, 69e6, 0.30 * 69e6);
+    EXPECT_NEAR(llama, 38e6, 0.30 * 38e6);
+    EXPECT_GT(kimi, dsv3);
+    EXPECT_GT(dsv3, qwq);
+    EXPECT_GT(qwq, llama);
+}
+
+TEST(NreTest, MoreChipsMoreNre)
+{
+    const auto model = makeModel();
+    const auto small = model.breakdown(gptOss120b(), 8);
+    const auto large = model.breakdown(gptOss120b(), 32);
+    EXPECT_GT(large.totalNre().mid(), small.totalNre().mid());
+    // The homogeneous set is shared regardless of chip count.
+    EXPECT_DOUBLE_EQ(large.homogeneousMask.mid(),
+                     small.homogeneousMask.mid());
+}
+
+class TcoTest : public ::testing::Test
+{
+  protected:
+    TcoModel tco_{makeModel()};
+};
+
+TEST_F(TcoTest, Table3LowVolumeHnlpu)
+{
+    const auto r = tco_.hnlpu(gptOss120b(), 1);
+    EXPECT_NEAR(r.datacenterPowerMW, 0.010, 0.001);
+    EXPECT_NEAR(r.nodePrice.lo, 59.25e6, 0.3e6);
+    EXPECT_NEAR(r.nodePrice.hi, 123.3e6, 0.5e6);
+    EXPECT_NEAR(r.infrastructure.mid(), 0.21e6, 0.03e6);
+    EXPECT_NEAR(r.initialCapex.lo, 59.46e6, 0.4e6);
+    EXPECT_NEAR(r.initialCapex.hi, 123.5e6, 0.6e6);
+    EXPECT_NEAR(r.electricity.mid(), 0.025e6, 0.004e6);
+    EXPECT_NEAR(r.maintenance.lo, 0.073e6, 0.002e6);
+    EXPECT_NEAR(r.maintenance.hi, 0.1353e6, 0.004e6);
+    EXPECT_NEAR(r.tcoStatic.lo, 59.56e6, 0.4e6);
+    EXPECT_NEAR(r.tcoStatic.hi, 123.7e6, 0.7e6);
+    EXPECT_NEAR(r.tcoDynamic.lo, 96.62e6, 0.6e6);
+    EXPECT_NEAR(r.tcoDynamic.hi, 197.8e6, 1.2e6);
+}
+
+TEST_F(TcoTest, Table3HighVolumeHnlpu)
+{
+    const auto r = tco_.hnlpu(gptOss120b(), 50);
+    EXPECT_NEAR(r.datacenterPowerMW, 0.483, 0.01);
+    EXPECT_NEAR(r.initialCapex.lo, 73.13e6, 0.5e6);
+    EXPECT_NEAR(r.initialCapex.hi, 140.2e6, 0.8e6);
+    EXPECT_NEAR(r.electricity.mid(), 1.206e6, 0.05e6);
+    EXPECT_NEAR(r.tcoStatic.lo, 74.70e6, 0.6e6);
+    EXPECT_NEAR(r.tcoStatic.hi, 142.1e6, 0.9e6);
+    EXPECT_NEAR(r.tcoDynamic.lo, 118.9e6, 0.8e6);
+    EXPECT_NEAR(r.tcoDynamic.hi, 229.4e6, 1.4e6);
+    EXPECT_NEAR(r.emissionsStatic, 4924.0, 120.0);
+    EXPECT_NEAR(r.emissionsDynamic, 5124.0, 130.0);
+}
+
+TEST_F(TcoTest, Table3H100Clusters)
+{
+    const auto low = tco_.h100(2000.0);
+    EXPECT_NEAR(low.datacenterPowerMW, 3.64, 0.03);
+    EXPECT_NEAR(low.nodePrice.mid(), 79.99e6, 0.1e6);
+    EXPECT_NEAR(low.infrastructure.mid(), 54.93e6, 0.5e6);
+    EXPECT_NEAR(low.initialCapex.mid(), 134.9e6, 0.6e6);
+    EXPECT_NEAR(low.electricity.mid(), 9.088e6, 0.1e6);
+    EXPECT_NEAR(low.maintenance.mid(), 47.24e6, 0.5e6);
+    EXPECT_NEAR(low.tcoStatic.mid(), 191.2e6, 1.0e6);
+    EXPECT_NEAR(low.emissionsStatic, 36600.0, 500.0);
+
+    const auto high = tco_.h100(100000.0);
+    EXPECT_NEAR(high.datacenterPowerMW, 182.0, 1.5);
+    EXPECT_NEAR(high.initialCapex.mid(), 6747e6, 40e6);
+    EXPECT_NEAR(high.electricity.mid(), 454.4e6, 5e6);
+    EXPECT_NEAR(high.maintenance.mid(), 2362e6, 25e6);
+    EXPECT_NEAR(high.tcoStatic.mid(), 9563e6, 60e6);
+    EXPECT_NEAR(high.emissionsStatic, 1.83e6, 0.02e6);
+}
+
+TEST_F(TcoTest, HeadlineAdvantages)
+{
+    // Paper: 41.7x..80.4x TCO advantage at high volume (dynamic),
+    // 357x carbon reduction.
+    const auto hn = tco_.hnlpu(gptOss120b(), 50);
+    const auto gpu = tco_.h100(100000.0);
+    const double tco_best = gpu.tcoStatic.mid() / hn.tcoDynamic.lo;
+    const double tco_worst = gpu.tcoStatic.mid() / hn.tcoDynamic.hi;
+    EXPECT_NEAR(tco_worst, 41.7, 2.0);
+    EXPECT_NEAR(tco_best, 80.4, 3.0);
+    EXPECT_NEAR(gpu.emissionsStatic / hn.emissionsDynamic, 357.0, 15.0);
+}
+
+TEST_F(TcoTest, CarbonModelComponents)
+{
+    CarbonModel carbon(tco_.params());
+    // 1000 units at 124.9 kg each = 124.9 t.
+    EXPECT_NEAR(carbon.embodied(1000.0), 124.9, 0.01);
+    // 1 MW for 1 year at 0.38 kg/kWh = 3,329 t.
+    EXPECT_NEAR(carbon.operational(1.0, 1.0), 3328.8, 1.0);
+    EXPECT_NEAR(carbon.total(1000.0, 1.0, 1.0), 3453.7, 1.0);
+}
+
+} // namespace
+} // namespace hnlpu

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the paper's Section 8 future-work features implemented in
+ * this library: LoRA side-channel adapters for post-deployment
+ * updates, and the sequence-scoring / text-embedding use modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/model_zoo.hh"
+#include "xformer/engine.hh"
+#include "xformer/lora.hh"
+
+namespace hnlpu {
+namespace {
+
+class LoraTest : public ::testing::Test
+{
+  protected:
+    LoraTest()
+        : cfg_(tinyTestModel()),
+          weights_(ModelWeights::randomInit(cfg_, 31))
+    {
+    }
+
+    TransformerConfig cfg_;
+    ModelWeights weights_;
+};
+
+TEST_F(LoraTest, ZeroAdapterIsIdentity)
+{
+    Linear frozen = Linear::random(16, 24, 1);
+    LoraAdapter zero(16, 24, 4);
+    Rng rng(2);
+    Vec x(24);
+    for (double &v : x)
+        v = rng.gaussian(0.0, 1.0);
+    const Vec plain = frozen.forward(x, ExecPath::Reference);
+    const Vec adapted = zero.apply(frozen, x, ExecPath::Reference);
+    for (std::size_t i = 0; i < plain.size(); ++i)
+        EXPECT_DOUBLE_EQ(adapted[i], plain[i]);
+}
+
+TEST_F(LoraTest, RandomAdapterShiftsOutput)
+{
+    Linear frozen = Linear::random(16, 24, 1);
+    LoraAdapter adapter = LoraAdapter::random(16, 24, 4, 9);
+    Vec x(24, 0.5);
+    const Vec plain = frozen.forward(x, ExecPath::Reference);
+    const Vec adapted = adapter.apply(frozen, x, ExecPath::Reference);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < plain.size(); ++i)
+        diff += std::fabs(adapted[i] - plain[i]);
+    EXPECT_GT(diff, 1e-3);
+    // The delta itself must equal adapted - plain.
+    const Vec d = adapter.delta(x);
+    for (std::size_t i = 0; i < plain.size(); ++i)
+        EXPECT_NEAR(adapted[i], plain[i] + d[i], 1e-12);
+}
+
+TEST_F(LoraTest, SideChannelBudgetAboutOnePercent)
+{
+    // Rank-8 adapters on Wq/Wo of gpt-oss: the paper budgets ~1%
+    // field-programmable HNs at the side channel.
+    const auto big = gptOss120b();
+    LoraSet set = LoraSet::zeros(big.layerCount, big.hiddenSize,
+                                 big.qProjectionDim(), 8);
+    const double overhead =
+        set.overheadFraction(big.hiddenSize, big.qProjectionDim());
+    EXPECT_GT(overhead, 0.001);
+    EXPECT_LT(overhead, 0.02);
+}
+
+TEST_F(LoraTest, EngineWithZeroLoraMatchesBaseline)
+{
+    Engine base(cfg_, weights_, ExecPath::Reference);
+    Engine adapted(cfg_, weights_, ExecPath::Reference);
+    LoraSet zeros = LoraSet::zeros(cfg_.layerCount, cfg_.hiddenSize,
+                                   cfg_.qProjectionDim(), 2);
+    adapted.attachLora(&zeros);
+
+    KvCache a = base.makeCache(), b = adapted.makeCache();
+    const Vec la = base.forwardToken(5, a);
+    const Vec lb = adapted.forwardToken(5, b);
+    for (std::size_t i = 0; i < la.size(); ++i)
+        EXPECT_DOUBLE_EQ(la[i], lb[i]);
+}
+
+TEST_F(LoraTest, FieldProgrammingChangesGeneration)
+{
+    Engine engine(cfg_, weights_, ExecPath::Reference);
+    LoraSet set = LoraSet::zeros(cfg_.layerCount, cfg_.hiddenSize,
+                                 cfg_.qProjectionDim(), 2);
+    engine.attachLora(&set);
+
+    Sampler greedy_a({0.0, 0}, 0);
+    const auto before = engine.generate({1, 2, 3}, 10, greedy_a);
+
+    // "Field-program" the side channel: write a strong update into
+    // layer 0's Wq adapter.
+    Rng rng(77);
+    for (double &v : set.wq[0].aMatrix().data())
+        v = rng.gaussian(0.0, 0.5);
+    for (double &v : set.wq[0].bMatrix().data())
+        v = rng.gaussian(0.0, 0.5);
+
+    Sampler greedy_b({0.0, 0}, 0);
+    const auto after = engine.generate({1, 2, 3}, 10, greedy_b);
+    EXPECT_NE(before, after);
+
+    // Detaching restores the frozen behaviour.
+    engine.attachLora(nullptr);
+    Sampler greedy_c({0.0, 0}, 0);
+    EXPECT_EQ(engine.generate({1, 2, 3}, 10, greedy_c), before);
+}
+
+TEST_F(LoraTest, HardwiredPathAcceptsSideChannel)
+{
+    Engine hw(cfg_, weights_, ExecPath::Hardwired, 12);
+    LoraSet set = LoraSet::zeros(cfg_.layerCount, cfg_.hiddenSize,
+                                 cfg_.qProjectionDim(), 2);
+    hw.attachLora(&set);
+    KvCache cache = hw.makeCache();
+    const Vec logits = hw.forwardToken(3, cache);
+    EXPECT_EQ(logits.size(), cfg_.vocabSize);
+    for (double l : logits)
+        EXPECT_TRUE(std::isfinite(l));
+}
+
+class UseModesTest : public ::testing::Test
+{
+  protected:
+    UseModesTest()
+        : cfg_(tinyTestModel()),
+          weights_(ModelWeights::randomInit(cfg_, 41)),
+          engine_(cfg_, weights_, ExecPath::Reference)
+    {
+    }
+
+    TransformerConfig cfg_;
+    ModelWeights weights_;
+    Engine engine_;
+};
+
+TEST_F(UseModesTest, GreedySequencesScoreHigherThanPerturbed)
+{
+    // Build a greedy continuation, then perturb one forced token; the
+    // greedy sequence must not score lower.
+    Sampler greedy({0.0, 0}, 0);
+    Engine gen(cfg_, weights_, ExecPath::Reference);
+    const auto continuation = gen.generate({4, 9}, 6, greedy);
+
+    std::vector<std::size_t> greedy_seq{4, 9};
+    greedy_seq.insert(greedy_seq.end(), continuation.begin(),
+                      continuation.end());
+    std::vector<std::size_t> perturbed = greedy_seq;
+    perturbed[4] = (perturbed[4] + 17) % cfg_.vocabSize;
+
+    Engine scorer_a(cfg_, weights_, ExecPath::Reference);
+    Engine scorer_b(cfg_, weights_, ExecPath::Reference);
+    EXPECT_GE(scorer_a.scoreSequence(greedy_seq),
+              scorer_b.scoreSequence(perturbed));
+}
+
+TEST_F(UseModesTest, ScoresAreLogProbabilities)
+{
+    const double score = engine_.scoreSequence({1, 2, 3, 4});
+    EXPECT_LT(score, 0.0);
+    EXPECT_TRUE(std::isfinite(score));
+}
+
+TEST_F(UseModesTest, EmbeddingsDeterministicAndOrderSensitive)
+{
+    Engine a(cfg_, weights_, ExecPath::Reference);
+    Engine b(cfg_, weights_, ExecPath::Reference);
+    const Vec e1 = a.embedSequence({5, 6, 7});
+    const Vec e2 = b.embedSequence({5, 6, 7});
+    ASSERT_EQ(e1.size(), cfg_.hiddenSize);
+    for (std::size_t i = 0; i < e1.size(); ++i)
+        EXPECT_DOUBLE_EQ(e1[i], e2[i]);
+
+    Engine c(cfg_, weights_, ExecPath::Reference);
+    const Vec e3 = c.embedSequence({7, 6, 5});
+    double diff = 0.0;
+    for (std::size_t i = 0; i < e1.size(); ++i)
+        diff += std::fabs(e1[i] - e3[i]);
+    EXPECT_GT(diff, 1e-6);
+}
+
+TEST_F(UseModesTest, EmbeddingWorksOnHardwiredPath)
+{
+    Engine hw(cfg_, weights_, ExecPath::Hardwired, 12);
+    Engine ref(cfg_, weights_, ExecPath::Reference);
+    const Vec a = hw.embedSequence({2, 4, 8});
+    const Vec b = ref.embedSequence({2, 4, 8});
+    double cos_num = 0, cos_a = 0, cos_b = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        cos_num += a[i] * b[i];
+        cos_a += a[i] * a[i];
+        cos_b += b[i] * b[i];
+    }
+    EXPECT_GT(cos_num / std::sqrt(cos_a * cos_b), 0.99);
+}
+
+} // namespace
+} // namespace hnlpu

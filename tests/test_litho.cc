@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the photomask stack and wafer-economics models, pinned to
+ * the paper's published anchors (Section 3.2, Appendix B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "litho/mask_stack.hh"
+#include "litho/wafer.hh"
+#include "phys/technology.hh"
+
+namespace hnlpu {
+namespace {
+
+TEST(MaskStackTest, LayerAccounting)
+{
+    MaskStack masks;
+    EXPECT_EQ(masks.totalLayers(), 70u);
+    // 58 + 12 * 6 = 130 normalised DUV units.
+    EXPECT_DOUBLE_EQ(masks.normalizedUnits(), 130.0);
+    // ME layers are 10/130 = 7.7% of the set.
+    EXPECT_NEAR(masks.metalEmbeddingFraction(), 0.0769, 0.0005);
+}
+
+TEST(MaskStackTest, PaperCostAnchors)
+{
+    MaskStack masks;
+    // Homogeneous set: $13.85M..$27.69M.
+    EXPECT_NEAR(masks.homogeneousCost().lo, 13.85e6, 0.05e6);
+    EXPECT_NEAR(masks.homogeneousCost().hi, 27.69e6, 0.05e6);
+    // ME per variant: $1.15M..$2.31M.
+    EXPECT_NEAR(masks.metalEmbeddingCostPerChip().lo, 1.15e6, 0.01e6);
+    EXPECT_NEAR(masks.metalEmbeddingCostPerChip().hi, 2.31e6, 0.01e6);
+    // 16 variants: $18.46M..$36.92M.
+    const auto respin = masks.respinCost(16);
+    EXPECT_NEAR(respin.lo, 18.46e6, 0.1e6);
+    EXPECT_NEAR(respin.hi, 36.92e6, 0.1e6);
+}
+
+TEST(MaskStackTest, SeaOfNeuronsSavings)
+{
+    MaskStack masks;
+    // Initial tapeout: -86.5% vs 16 heterogeneous sets; re-spin: -92.3%.
+    const double hetero16 = masks.fullSetPrice.hi * 16.0;
+    const double initial = masks.seaOfNeuronsCost(16).hi;
+    EXPECT_NEAR(1.0 - initial / hetero16, 0.865, 0.01);
+    const double respin = masks.respinCost(16).hi;
+    EXPECT_NEAR(1.0 - respin / hetero16, 0.923, 0.01);
+}
+
+TEST(MaskStackTest, StrawmanAtFullPrice)
+{
+    MaskStack masks;
+    EXPECT_DOUBLE_EQ(masks.strawmanCost(200), 6e9);
+}
+
+TEST(MaskStackTest, CostRangeArithmetic)
+{
+    CostRange a{1.0, 2.0}, b{3.0, 5.0};
+    const auto sum = a + b;
+    EXPECT_DOUBLE_EQ(sum.lo, 4.0);
+    EXPECT_DOUBLE_EQ(sum.hi, 7.0);
+    EXPECT_DOUBLE_EQ((a * 3.0).hi, 6.0);
+    EXPECT_DOUBLE_EQ(sum.mid(), 5.5);
+}
+
+class WaferTest : public ::testing::Test
+{
+  protected:
+    WaferModel wafers_{n5Technology()};
+};
+
+TEST_F(WaferTest, GptOssChipEconomics)
+{
+    // Paper note 3: ~43% yield, ~27 of 62 dies, ~$629 per good die.
+    const auto e = wafers_.economics(827.08);
+    EXPECT_NEAR(e.grossDiesPerWafer, 62.0, 1.0);
+    EXPECT_NEAR(e.yield, 0.43, 0.01);
+    EXPECT_NEAR(e.goodDiesPerWafer, 27.0, 1.0);
+    EXPECT_NEAR(e.costPerGoodDie, 629.0, 25.0);
+}
+
+TEST_F(WaferTest, YieldMonotonicInDieArea)
+{
+    double previous = 1.0;
+    for (AreaMm2 area : {50.0, 100.0, 200.0, 400.0, 800.0}) {
+        const double y = wafers_.murphyYield(area);
+        EXPECT_LT(y, previous) << "area " << area;
+        EXPECT_GT(y, 0.0);
+        previous = y;
+    }
+    EXPECT_DOUBLE_EQ(wafers_.murphyYield(0.0), 1.0);
+}
+
+TEST_F(WaferTest, SmallDiesAreCheap)
+{
+    const auto small = wafers_.economics(100.0);
+    const auto large = wafers_.economics(800.0);
+    EXPECT_GT(small.goodDiesPerWafer, 5.0 * large.goodDiesPerWafer);
+    EXPECT_LT(small.costPerGoodDie, large.costPerGoodDie / 5.0);
+}
+
+TEST_F(WaferTest, DefectDensitySensitivity)
+{
+    TechnologyParams dirty = n5Technology();
+    dirty.defectDensityPerCm2 = 0.5;
+    WaferModel dirty_model(dirty);
+    EXPECT_LT(dirty_model.murphyYield(827.0),
+              wafers_.murphyYield(827.0));
+}
+
+TEST_F(WaferTest, RejectsOversizedDie)
+{
+    EXPECT_DEATH(wafers_.economics(900.0), "reticle");
+}
+
+} // namespace
+} // namespace hnlpu

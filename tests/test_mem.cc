@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the attention buffer, HBM and KV placement models.  Pinned
+ * against the paper's published figures: 320 MB buffer at 80 TB/s, KV
+ * overflow beginning between 128 K and 256 K context for gpt-oss.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hbm.hh"
+#include "mem/kv_store.hh"
+#include "mem/sram.hh"
+#include "model/model_zoo.hh"
+
+namespace hnlpu {
+namespace {
+
+TEST(Sram, PaperFigures)
+{
+    SramBufferParams buf;
+    // 20,000 banks x 16 KB = 320 MB (the paper quotes decimal MB).
+    EXPECT_NEAR(buf.capacityBytes(), 320e6, 10e6);
+    // 20,000 banks x 4 B x 1 GHz = 80 TB/s.
+    EXPECT_NEAR(buf.readBandwidth(), 80e12, 1e12);
+    EXPECT_EQ(buf.accessLatencyTicks(), toTicks(3e-9));
+}
+
+TEST(Sram, StreamTicksScaleLinearly)
+{
+    SramBufferParams buf;
+    EXPECT_EQ(buf.streamTicks(0.0), 0u);
+    const Tick t1 = buf.streamTicks(8e9);
+    const Tick t2 = buf.streamTicks(16e9);
+    EXPECT_NEAR(double(t2), 2.0 * double(t1), 2.0);
+}
+
+TEST(Hbm, CapacityAndBandwidth)
+{
+    HbmParams hbm;
+    EXPECT_NEAR(hbm.capacityBytes(), 192.0 * kGiB, 1.0);
+    EXPECT_NEAR(hbm.effectiveBandwidth(), 8 * 0.4e12 * 0.8, 1.0);
+    EXPECT_GT(hbm.streamTicks(1e9), 0u);
+}
+
+TEST(KvStoreTest, BytesPerTokenMatchHandCalc)
+{
+    KvStore store(makePartition(gptOss120b()), SramBufferParams{},
+                  HbmParams{});
+    // Per chip per layer: 2 KV heads * 64 dims * 2 (K,V) / 4 rows
+    //                   = 64 B per cached token.
+    EXPECT_DOUBLE_EQ(store.kvBytesPerTokenPerLayerPerChip(), 64.0);
+    // Only the 18 full-attention layers grow with context (gpt-oss
+    // alternates sliding-window layers): 64 B * 18 = 1152 B.
+    EXPECT_DOUBLE_EQ(store.bytesPerTokenPerChip(), 1152.0);
+}
+
+TEST(KvStoreTest, OverflowOnsetBetween256kAnd512k)
+{
+    KvStore store(makePartition(gptOss120b()), SramBufferParams{},
+                  HbmParams{});
+    // Paper Fig. 14: stalls negligible up to 256 K, visible at 512 K
+    // where KV cache is loaded from off-chip HBM.
+    EXPECT_DOUBLE_EQ(store.place(64 * 1024).overflowFraction, 0.0);
+    EXPECT_DOUBLE_EQ(store.place(256 * 1024).overflowFraction, 0.0);
+    EXPECT_GT(store.place(512 * 1024).overflowFraction, 0.4);
+    EXPECT_GT(store.maxResidentContext(), 256u * 1024u);
+    EXPECT_LT(store.maxResidentContext(), 512u * 1024u);
+}
+
+TEST(KvStoreTest, PlacementConservation)
+{
+    KvStore store(makePartition(gptOss120b()), SramBufferParams{},
+                  HbmParams{});
+    for (std::size_t ctx : {1024u, 65536u, 524288u}) {
+        const auto p = store.place(ctx);
+        EXPECT_DOUBLE_EQ(
+            p.residentBytesPerChip + p.overflowBytesPerChip,
+            p.totalBytesPerChip)
+            << "ctx " << ctx;
+        EXPECT_GE(p.overflowFraction, 0.0);
+        EXPECT_LE(p.overflowFraction, 1.0);
+    }
+}
+
+TEST(KvStoreTest, MultipleSequencesShareBuffer)
+{
+    KvStore store(makePartition(gptOss120b()), SramBufferParams{},
+                  HbmParams{});
+    const auto one = store.place(2048, 1);
+    const auto many = store.place(2048, 100);
+    EXPECT_DOUBLE_EQ(many.totalBytesPerChip,
+                     100.0 * one.totalBytesPerChip);
+    EXPECT_GE(many.overflowFraction, one.overflowFraction);
+}
+
+TEST(KvStoreTest, HbmTrafficSpreadAcrossLayers)
+{
+    KvStore store(makePartition(gptOss120b()), SramBufferParams{},
+                  HbmParams{});
+    const auto p = store.place(512 * 1024);
+    // Traffic spreads across the 18 full-attention layers only.
+    EXPECT_NEAR(p.hbmReadPerTokenPerLayer * 18.0,
+                p.overflowBytesPerChip, 1.0);
+}
+
+} // namespace
+} // namespace hnlpu

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for model descriptors and chip partitioning.  The gpt-oss 120 B
+ * parameter accounting is pinned against the publicly known figures the
+ * paper relies on (~117 B total, ~5 B active per token).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/model_zoo.hh"
+#include "model/partition.hh"
+
+namespace hnlpu {
+namespace {
+
+TEST(ModelZoo, GptOss120bShapes)
+{
+    const auto cfg = gptOss120b();
+    EXPECT_EQ(cfg.hiddenSize, 2880u);
+    EXPECT_EQ(cfg.layerCount, 36u);
+    EXPECT_EQ(cfg.qProjectionDim(), 4096u);
+    EXPECT_EQ(cfg.kvProjectionDim(), 512u);
+    EXPECT_EQ(cfg.gqaGroupSize(), 8u);
+    EXPECT_EQ(cfg.expertCount, 128u);
+    EXPECT_EQ(cfg.activeExperts, 4u);
+}
+
+TEST(ModelZoo, GptOss120bParameterCount)
+{
+    const auto cfg = gptOss120b();
+    // ~116.8 B total parameters, ~5.1 B active per token.
+    EXPECT_NEAR(double(cfg.totalParams()), 116.8e9, 2.0e9);
+    EXPECT_NEAR(double(cfg.activeParams()), 5.1e9, 0.6e9);
+    // FP4: ~58 GB of weights.
+    EXPECT_NEAR(cfg.totalWeightBytes(), 58.4e9, 1.5e9);
+}
+
+TEST(ModelZoo, Table4ModelSizes)
+{
+    EXPECT_NEAR(double(kimiK2().totalParams()), 1.0e12, 0.08e12);
+    EXPECT_NEAR(double(deepSeekV3().totalParams()), 671e9, 40e9);
+    EXPECT_NEAR(double(qwq32b().totalParams()), 32e9, 3e9);
+    EXPECT_NEAR(double(llama3_8b().totalParams()), 8e9, 1e9);
+}
+
+TEST(ModelZoo, ActiveLessThanTotalForMoe)
+{
+    for (const auto &cfg : productionModels()) {
+        EXPECT_LE(cfg.activeParams(), cfg.totalParams()) << cfg.name;
+        if (cfg.expertCount > 1) {
+            EXPECT_LT(cfg.activeParams(), cfg.totalParams() / 2)
+                << cfg.name;
+        }
+    }
+}
+
+TEST(ModelZoo, KvBytesPerToken)
+{
+    const auto cfg = gptOss120b();
+    // 8 KV heads * 64 dims * 2 (K,V) * 1 byte = 1024 B per layer.
+    EXPECT_DOUBLE_EQ(cfg.kvBytesPerTokenPerLayer(), 1024.0);
+    EXPECT_DOUBLE_EQ(cfg.kvBytesPerToken(), 1024.0 * 36);
+}
+
+TEST(ModelZoo, TinyModelValidates)
+{
+    const auto cfg = tinyTestModel();
+    EXPECT_LT(cfg.totalParams(), 3'000'000u);
+    EXPECT_EQ(cfg.gqaGroupSize(), 2u);
+}
+
+TEST(Partition, GptOssTilesOnFourByFour)
+{
+    const auto part = makePartition(gptOss120b());
+    EXPECT_EQ(part.chipCount(), 16u);
+    EXPECT_EQ(part.hiddenSlice(), 720u);
+    EXPECT_EQ(part.queryHeadsPerColumn(), 16u);
+    EXPECT_EQ(part.kvHeadsPerColumn(), 2u);
+    EXPECT_EQ(part.expertsPerChip(), 8u);
+}
+
+TEST(Partition, PerChipParamsSumToModel)
+{
+    const auto cfg = gptOss120b();
+    const auto part = makePartition(cfg);
+    // 16 chips each hold ~1/16th of the model plus a replicated router.
+    const double per_chip = double(part.paramsPerChip());
+    EXPECT_NEAR(per_chip * 16, double(cfg.totalParams()),
+                0.01 * double(cfg.totalParams()));
+    EXPECT_GT(per_chip * 16, double(cfg.totalParams()) - 1.0);
+}
+
+TEST(Partition, CollectiveMessageSizes)
+{
+    const auto part = makePartition(gptOss120b());
+    // Query per column: 16 heads x 64 dims = 1024 B.
+    EXPECT_DOUBLE_EQ(part.queryReduceBytes(), 1024.0);
+    // K (or V) group per column: 2 heads x 64 = 128 B.
+    EXPECT_DOUBLE_EQ(part.kvReduceBytes(), 128.0);
+    // Z for 512 cached tokens per chip: 2 x 8 x 512 = 8192 B.
+    EXPECT_DOUBLE_EQ(part.scoreReduceBytes(512), 8192.0);
+    // Attention output partials: 2 x 8 x 64 = 1024 B.
+    EXPECT_DOUBLE_EQ(part.attnOutReduceBytes(), 1024.0);
+    // Xo slice: 720 B; MoE combine: 2880 B.
+    EXPECT_DOUBLE_EQ(part.xoReduceBytes(), 720.0);
+    EXPECT_DOUBLE_EQ(part.moeReduceBytes(), 2880.0);
+}
+
+TEST(PartitionDeathTest, RejectsNonTilingModel)
+{
+    TransformerConfig cfg = gptOss120b();
+    cfg.hiddenSize = 2881; // no longer divisible by 4
+    EXPECT_DEATH(makePartition(cfg), "tile");
+}
+
+TEST(Partition, SuggestChipCount)
+{
+    const auto cfg = gptOss120b();
+    const std::uint64_t per_chip = cfg.totalParams() / 16 + 1;
+    EXPECT_EQ(suggestChipCount(cfg, per_chip), 16u);
+    EXPECT_EQ(suggestChipCount(llama3_8b(), per_chip), 2u);
+    EXPECT_GE(suggestChipCount(kimiK2(), per_chip), 100u);
+}
+
+} // namespace
+} // namespace hnlpu

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the CXL link model, row-column fabric topology and the
+ * timed/functional collectives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/collectives.hh"
+#include "noc/fabric.hh"
+#include "noc/link.hh"
+
+namespace hnlpu {
+namespace {
+
+CxlLinkParams
+testLink()
+{
+    CxlLinkParams p;
+    p.bandwidth = 100e9;
+    p.efficiency = 1.0;
+    p.latency = 100e-9;
+    p.perMessageOverhead = 0.0;
+    return p;
+}
+
+TEST(CxlLink, TransferTimes)
+{
+    CxlLinkParams p = testLink();
+    // 10 KB at 100 GB/s = 100 ns serialisation.
+    EXPECT_EQ(p.serializationTicks(10000.0), toTicks(100e-9));
+    EXPECT_EQ(p.messageTicks(10000.0), toTicks(200e-9));
+    EXPECT_EQ(p.latencyTicks(), toTicks(100e-9));
+}
+
+TEST(CxlLink, OverheadAndEfficiency)
+{
+    CxlLinkParams p = testLink();
+    p.efficiency = 0.5;
+    p.perMessageOverhead = 1000.0;
+    // (1000 + 1000) / 50 GB/s = 40 ns.
+    EXPECT_EQ(p.serializationTicks(1000.0), toTicks(40e-9));
+}
+
+TEST(FabricTest, TopologyRowColumnOnly)
+{
+    Fabric fabric(4, 4, testLink());
+    EXPECT_EQ(fabric.chipCount(), 16u);
+    EXPECT_EQ(fabric.linksPerChip(), 6u);
+
+    const ChipId c00 = fabric.chipAt(0, 0);
+    const ChipId c03 = fabric.chipAt(0, 3);
+    const ChipId c30 = fabric.chipAt(3, 0);
+    const ChipId c11 = fabric.chipAt(1, 1);
+    EXPECT_TRUE(fabric.connected(c00, c03));  // same row
+    EXPECT_TRUE(fabric.connected(c00, c30));  // same column
+    EXPECT_FALSE(fabric.connected(c00, c11)); // diagonal
+    EXPECT_FALSE(fabric.connected(c00, c00));
+
+    EXPECT_EQ(fabric.rowPeers(c00).size(), 3u);
+    EXPECT_EQ(fabric.colPeers(c00).size(), 3u);
+}
+
+TEST(FabricTest, SendOccupiesLinkSerially)
+{
+    Fabric fabric(2, 2, testLink());
+    const ChipId a = fabric.chipAt(0, 0);
+    const ChipId b = fabric.chipAt(0, 1);
+    // 10 KB -> 100 ns serialisation + 100 ns latency.
+    Tick t1 = fabric.send(a, b, 10000.0, 0);
+    EXPECT_EQ(t1, toTicks(200e-9));
+    // Second message queues behind the first on the same link.
+    Tick t2 = fabric.send(a, b, 10000.0, 0);
+    EXPECT_EQ(t2, toTicks(300e-9));
+    // The reverse direction is an independent link.
+    Tick t3 = fabric.send(b, a, 10000.0, 0);
+    EXPECT_EQ(t3, toTicks(200e-9));
+    EXPECT_EQ(fabric.totalMessages(), 3u);
+}
+
+TEST(FabricDeathTest, NoDiagonalLink)
+{
+    Fabric fabric(4, 4, testLink());
+    EXPECT_DEATH(fabric.send(fabric.chipAt(0, 0), fabric.chipAt(1, 1),
+                             100.0, 0),
+                 "no link");
+}
+
+TEST(Collectives, BroadcastAndReduceTiming)
+{
+    Fabric fabric(4, 4, testLink());
+    std::vector<ChipId> row{0, 1, 2, 3};
+    // Root sends over 3 dedicated links in parallel: one message time.
+    Tick done = timedBroadcast(fabric, 0, row, 10000.0, 0);
+    EXPECT_EQ(done, toTicks(200e-9));
+
+    fabric.reset();
+    done = timedReduce(fabric, row, 0, 10000.0, 0);
+    EXPECT_EQ(done, toTicks(200e-9));
+}
+
+TEST(Collectives, AllReduceSingleStepDirect)
+{
+    Fabric fabric(4, 4, testLink());
+    std::vector<ChipId> col{0, 4, 8, 12};
+    Tick done = timedAllReduce(fabric, col, 10000.0, 0);
+    // Every ordered pair has a dedicated link: one message time.
+    EXPECT_EQ(done, toTicks(200e-9));
+    // 4 * 3 directed messages.
+    EXPECT_EQ(fabric.totalMessages(), 12u);
+}
+
+TEST(Collectives, GridAllReduceTwoPhases)
+{
+    Fabric fabric(4, 4, testLink());
+    Tick done = timedGridAllReduce(fabric, 10000.0, 0);
+    // Row phase then column phase, each one message time.
+    EXPECT_EQ(done, toTicks(400e-9));
+    EXPECT_EQ(fabric.totalMessages(), 16u * 3u * 2u);
+}
+
+TEST(CollectivesDeathTest, RejectsUnlinkedGroup)
+{
+    Fabric fabric(4, 4, testLink());
+    std::vector<ChipId> diagonal{0, 5};
+    EXPECT_DEATH(timedAllReduce(fabric, diagonal, 1.0, 0),
+                 "not directly linked");
+}
+
+TEST(Collectives, DataAllReduce)
+{
+    std::vector<ChipVec> data{{1, 2}, {3, 4}, {5, 6}, {7, 8}};
+    dataAllReduce(data, {0, 1, 2, 3});
+    for (const auto &v : data) {
+        EXPECT_DOUBLE_EQ(v[0], 16.0);
+        EXPECT_DOUBLE_EQ(v[1], 20.0);
+    }
+}
+
+TEST(Collectives, DataBroadcastAndGather)
+{
+    std::vector<ChipVec> data{{1}, {2}, {3}, {4}};
+    dataBroadcast(data, 2, {0, 1, 2, 3});
+    for (const auto &v : data)
+        EXPECT_DOUBLE_EQ(v[0], 3.0);
+
+    std::vector<ChipVec> shards{{1}, {2}, {3}, {4}};
+    dataAllGather(shards, {0, 1, 2, 3});
+    for (const auto &v : shards)
+        EXPECT_EQ(v, (ChipVec{1, 2, 3, 4}));
+}
+
+TEST(Collectives, DataGridAllReduceEqualsGlobalSum)
+{
+    // 2x2 grid: values 1..4, global sum 10 everywhere.
+    std::vector<ChipVec> data{{1}, {2}, {3}, {4}};
+    dataGridAllReduce(data, 2, 2);
+    for (const auto &v : data)
+        EXPECT_DOUBLE_EQ(v[0], 10.0);
+}
+
+class GridShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(GridShapes, GridAllReduceAnyShape)
+{
+    const auto [rows, cols] = GetParam();
+    std::vector<ChipVec> data(rows * cols);
+    double expected = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = {double(i + 1)};
+        expected += double(i + 1);
+    }
+    dataGridAllReduce(data, rows, cols);
+    for (const auto &v : data)
+        EXPECT_DOUBLE_EQ(v[0], expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GridShapes,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{1, 4},
+                      std::pair<std::size_t, std::size_t>{4, 1},
+                      std::pair<std::size_t, std::size_t>{4, 4},
+                      std::pair<std::size_t, std::size_t>{3, 5}));
+
+} // namespace
+} // namespace hnlpu

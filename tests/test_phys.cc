@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the physical models, pinned against the paper's published
+ * post-layout figures: the Section 2.2 strawman, Fig. 12 area ratios,
+ * Fig. 13 ordering and Table 1's chip breakdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/model_zoo.hh"
+#include "phys/area_model.hh"
+#include "phys/chip_floorplan.hh"
+#include "phys/energy_model.hh"
+#include "phys/technology.hh"
+
+namespace hnlpu {
+namespace {
+
+TEST(Technology, LogicAndSramArea)
+{
+    const auto tech = n5Technology();
+    EXPECT_NEAR(tech.logicAreaMm2(138e6), 1.0, 1e-9);
+    // 64 KB plain macro: 524,288 bits x 0.021 um^2 = 0.0110 mm^2.
+    EXPECT_NEAR(tech.sramAreaMm2(64.0 * 1024.0), 0.01101, 1e-4);
+    EXPECT_GT(tech.sramAreaMm2(64.0 * 1024.0, true),
+              tech.sramAreaMm2(64.0 * 1024.0));
+}
+
+TEST(AreaModelTest, Section22Strawman)
+{
+    // Straightforward CMAC hardwiring of gpt-oss 120 B: ~176,000 mm^2.
+    AreaModel area(n5Technology());
+    const double params = double(gptOss120b().totalParams());
+    EXPECT_NEAR(area.cmacStrawman(params), 176000.0, 4000.0);
+}
+
+TEST(AreaModelTest, Fig12AreaRatios)
+{
+    AreaModel area(n5Technology());
+    const OperatorShape shape; // 1024 x 128 FP4
+    const double weights = shape.weightCount();
+    const AreaMm2 sram = area.sramWeightStore(weights);
+    const AreaMm2 ce = area.cellEmbedding(weights);
+    const AreaMm2 me = area.metalEmbedding(weights);
+    // Paper: CE 14.3x, SRAM 1x, ME 0.95x.
+    EXPECT_NEAR(ce / sram, 14.3, 0.4);
+    EXPECT_NEAR(me / sram, 0.95, 0.06);
+    // ME density gain ~15x over CE.
+    EXPECT_NEAR(area.meDensityGain(), 15.3, 1.0);
+}
+
+TEST(OperatorModelTest, Fig13CycleOrdering)
+{
+    OperatorModel op(n5Technology());
+    const OperatorShape shape;
+    const auto ma = op.macArray(shape);
+    const auto ce = op.cellEmbedding(shape);
+    const auto me = op.metalEmbedding(shape);
+    // MA needs ~weights/1024 cycles (~136); CE and ME are far below.
+    EXPECT_NEAR(ma.cycles, 136.0, 10.0);
+    EXPECT_LT(ce.cycles, 20.0);
+    EXPECT_LT(me.cycles, 30.0);
+    EXPECT_GT(ma.cycles, 4.0 * me.cycles);
+}
+
+TEST(OperatorModelTest, Fig13EnergyOrdering)
+{
+    OperatorModel op(n5Technology());
+    const OperatorShape shape;
+    const auto ma = op.macArray(shape);
+    const auto ce = op.cellEmbedding(shape);
+    const auto me = op.metalEmbedding(shape);
+    // Fig. 13 (log scale 0.1..10 nJ): MA ~10 nJ >> CE ~1 nJ > ME.
+    EXPECT_GT(ma.energy, 5e-9);
+    EXPECT_LT(ma.energy, 20e-9);
+    EXPECT_GT(ce.energy, 0.5e-9);
+    EXPECT_LT(ce.energy, 3e-9);
+    EXPECT_GT(me.energy, 0.05e-9);
+    EXPECT_LT(me.energy, 0.6e-9);
+    EXPECT_GT(ma.energy, ce.energy);
+    EXPECT_GT(ce.energy, me.energy);
+}
+
+TEST(OperatorModelTest, EnergyScalesWithShape)
+{
+    OperatorModel op(n5Technology());
+    OperatorShape small{512, 64, 8};
+    OperatorShape large{2048, 256, 8};
+    EXPECT_GT(op.metalEmbedding(large).energy,
+              op.metalEmbedding(small).energy * 10);
+    EXPECT_GT(op.macArray(large).cycles, op.macArray(small).cycles);
+}
+
+class FloorplanTest : public ::testing::Test
+{
+  protected:
+    ChipFloorplan plan_{makePartition(gptOss120b()), n5Technology()};
+};
+
+TEST_F(FloorplanTest, Table1Areas)
+{
+    const auto comps = plan_.components();
+    ASSERT_EQ(comps.size(), 6u);
+    EXPECT_EQ(comps[0].name, "HN Array");
+    EXPECT_NEAR(comps[0].area, 573.16, 3.0);
+    EXPECT_NEAR(comps[1].area, 27.87, 0.01);  // VEX
+    EXPECT_NEAR(comps[2].area, 0.02, 0.001);  // Control
+    EXPECT_NEAR(comps[3].area, 136.11, 0.5);  // Attention Buffer
+    EXPECT_NEAR(comps[4].area, 37.92, 0.01);  // Interconnect Engine
+    EXPECT_NEAR(comps[5].area, 52.0, 0.01);   // HBM PHY
+    EXPECT_NEAR(plan_.totalArea(), 827.08, 3.5);
+}
+
+TEST_F(FloorplanTest, Table1Powers)
+{
+    const auto comps = plan_.components();
+    EXPECT_NEAR(comps[0].power, 76.92, 1.0);  // HN Array
+    EXPECT_NEAR(comps[1].power, 33.09, 0.3);  // VEX
+    EXPECT_LT(comps[2].power, 0.01);          // Control
+    EXPECT_NEAR(comps[3].power, 85.73, 1.0);  // Attention Buffer
+    EXPECT_NEAR(comps[4].power, 49.65, 0.3);  // Interconnect Engine
+    EXPECT_NEAR(comps[5].power, 63.0, 0.3);   // HBM PHY
+    EXPECT_NEAR(plan_.totalPower(), 308.39, 2.0);
+}
+
+TEST_F(FloorplanTest, SystemTotals)
+{
+    // Table 2: 13,232 mm^2 total silicon; 6.9 kW system power.
+    EXPECT_NEAR(plan_.systemSiliconArea(), 13232.0, 60.0);
+    EXPECT_NEAR(plan_.systemPower(), 6900.0, 80.0);
+}
+
+TEST_F(FloorplanTest, PowerScalesWithActivity)
+{
+    ChipActivity idle;
+    idle.hnActiveFraction = 0.0;
+    idle.vexUtilization = 0.0;
+    idle.bufferUtilization = 0.0;
+    idle.interconnectUtilization = 0.0;
+    idle.hbmPhyUtilization = 0.0;
+    // Idle power is leakage only: well below nominal.
+    EXPECT_LT(plan_.totalPower(idle), 0.2 * plan_.totalPower());
+    // Dense activity (hypothetical non-MoE model) burns far more.
+    ChipActivity dense;
+    dense.hnActiveFraction = 1.0;
+    EXPECT_GT(plan_.totalPower(dense), 3.0 * plan_.totalPower());
+}
+
+TEST(FloorplanScaling, HnAreaTracksModelSize)
+{
+    const auto tech = n5Technology();
+    ChipFloorplan small(makePartition(gptOss20b()), tech);
+    ChipFloorplan large(makePartition(gptOss120b()), tech);
+    EXPECT_LT(small.hnArrayArea(), large.hnArrayArea());
+    // Non-HN blocks are fixed, so total area difference equals HN
+    // area difference.
+    EXPECT_NEAR(large.totalArea() - small.totalArea(),
+                large.hnArrayArea() - small.hnArrayArea(), 1e-9);
+}
+
+TEST(FloorplanPowerDensity, WithinCoolingLimits)
+{
+    // Paper Section 7.1: average power density ~0.3 W/mm^2.
+    ChipFloorplan plan(makePartition(gptOss120b()), n5Technology());
+    const double density = plan.totalPower() / plan.totalArea();
+    EXPECT_NEAR(density, 0.37, 0.1);
+    EXPECT_LT(density, 1.4); // peak cooling limit
+}
+
+} // namespace
+} // namespace hnlpu

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the cycle-level pipeline simulator and the continuous
+ * batcher.  Headline pins: ~250 K tokens/s at 2 K context (paper Table
+ * 2: 249,960), communication-dominated short-context breakdown and
+ * attention-dominated long-context breakdown (paper Fig. 14), stall
+ * onset only beyond 256 K context.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/batcher.hh"
+#include "pipeline/pipeline_sim.hh"
+
+namespace hnlpu {
+namespace {
+
+PipelineResult
+runAt(std::size_t context, std::size_t measured = 800)
+{
+    auto cfg = defaultGptOssPipeline(context);
+    cfg.warmupTokens = 300;
+    cfg.measuredTokens = measured;
+    return PipelineSim(cfg).run();
+}
+
+TEST(PipelineSim, Table2ThroughputAt2k)
+{
+    const auto r = runAt(2048);
+    // Paper: 249,960 tokens/s.  Within 5%.
+    EXPECT_NEAR(r.tokensPerSecond, 249960.0, 0.05 * 249960.0);
+    // 6 stages x 36 layers plus the unembed/sample stage.
+    EXPECT_EQ(r.pipelineSlots, 6u * 36u + 1u);
+}
+
+TEST(PipelineSim, Fig14ShortContextCommDominated)
+{
+    const auto r = runAt(2048);
+    // Paper: comm 82.9%, projection 13.8%, nonlinear ~3.3%.
+    EXPECT_NEAR(r.breakdown.commShare(), 0.829, 0.08);
+    EXPECT_NEAR(r.breakdown.projectionShare(), 0.138, 0.06);
+    EXPECT_LT(r.breakdown.nonlinearShare(), 0.10);
+    EXPECT_LT(r.breakdown.attentionShare(), 0.05);
+    EXPECT_DOUBLE_EQ(r.breakdown.stallShare(), 0.0);
+}
+
+TEST(PipelineSim, Fig14AttentionGrowsWithContext)
+{
+    const auto r2k = runAt(2048);
+    const auto r128k = runAt(131072, 600);
+    const auto r256k = runAt(262144, 500);
+    EXPECT_GT(r128k.breakdown.attentionShare(),
+              r2k.breakdown.attentionShare() + 0.05);
+    EXPECT_GT(r256k.breakdown.attentionShare(),
+              r128k.breakdown.attentionShare());
+    // Comm share falls as attention rises.
+    EXPECT_LT(r256k.breakdown.commShare(), r2k.breakdown.commShare());
+}
+
+TEST(PipelineSim, Fig14StallOnsetBeyond256k)
+{
+    EXPECT_DOUBLE_EQ(runAt(131072, 500).breakdown.stallShare(), 0.0);
+    EXPECT_DOUBLE_EQ(runAt(262144, 400).breakdown.stallShare(), 0.0);
+    const auto r512k = runAt(524288, 300);
+    EXPECT_GT(r512k.breakdown.stallShare(), 0.05);
+    EXPECT_GT(r512k.kvOverflowFraction, 0.3);
+}
+
+TEST(PipelineSim, ThroughputDegradesGracefullyWithContext)
+{
+    const double t2k = runAt(2048).tokensPerSecond;
+    const double t64k = runAt(65536, 600).tokensPerSecond;
+    const double t512k = runAt(524288, 300).tokensPerSecond;
+    EXPECT_GT(t2k, 200000.0);
+    EXPECT_GT(t64k, 0.5 * t2k);
+    EXPECT_LT(t512k, 0.2 * t2k);
+}
+
+TEST(PipelineSim, LinksSaturateAtShortContext)
+{
+    const auto r = runAt(2048);
+    EXPECT_GT(r.colLinkUtilization, 0.9);
+    EXPECT_GT(r.rowLinkUtilization, 0.2);
+}
+
+TEST(PipelineSim, LatencyConsistentWithLittlesLaw)
+{
+    const auto r = runAt(2048);
+    // In-flight tokens = latency * throughput <= pipeline slots.
+    const double inflight = r.tokenLatency * r.tokensPerSecond;
+    EXPECT_LE(inflight, double(r.pipelineSlots) * 1.05);
+    EXPECT_GT(inflight, 10.0);
+}
+
+TEST(PipelineSim, NaiveScoreExchangeIsWorse)
+{
+    auto cfg = defaultGptOssPipeline(65536);
+    cfg.warmupTokens = 200;
+    cfg.measuredTokens = 400;
+    cfg.flashScoreStats = false;
+    const auto naive = PipelineSim(cfg).run();
+    cfg.flashScoreStats = true;
+    const auto flash = PipelineSim(cfg).run();
+    EXPECT_GT(flash.tokensPerSecond, 1.5 * naive.tokensPerSecond);
+}
+
+TEST(PipelineSim, BreakdownSumsToTotal)
+{
+    const auto r = runAt(8192, 400);
+    const auto &b = r.breakdown;
+    EXPECT_NEAR(b.commShare() + b.projectionShare() +
+                    b.nonlinearShare() + b.attentionShare() +
+                    b.stallShare(),
+                1.0, 1e-9);
+    EXPECT_GT(b.total(), 0.0);
+}
+
+TEST(Batcher, SingleRequestTimings)
+{
+    // 1 us per pipeline step, 100 us traversal.
+    ContinuousBatcher batcher(4, 1e-6, 100e-6);
+    std::vector<Request> reqs{{0.0, 10, 5}};
+    auto outcomes = batcher.serve(reqs);
+    ASSERT_EQ(outcomes.size(), 1u);
+    // Prefill: 9 intervals + 1 traversal; decode: 5 traversals.
+    EXPECT_NEAR(outcomes[0].firstToken, 9e-6 + 100e-6, 1e-12);
+    EXPECT_NEAR(outcomes[0].finish, outcomes[0].firstToken + 500e-6,
+                1e-12);
+}
+
+TEST(Batcher, SlotsLimitConcurrency)
+{
+    ContinuousBatcher batcher(2, 1e-6, 100e-6);
+    // Three simultaneous requests; the third waits for a slot.
+    std::vector<Request> reqs{{0.0, 1, 1}, {0.0, 1, 1}, {0.0, 1, 1}};
+    auto outcomes = batcher.serve(reqs);
+    EXPECT_DOUBLE_EQ(outcomes[0].start, 0.0);
+    EXPECT_DOUBLE_EQ(outcomes[1].start, 0.0);
+    EXPECT_GT(outcomes[2].start, 0.0);
+    EXPECT_GT(batcher.stats().meanOccupancy, 0.3);
+}
+
+TEST(Batcher, ContinuousBatchingKeepsSlotsBusy)
+{
+    ContinuousBatcher batcher(216, 4e-6, 864e-6);
+    std::vector<Request> reqs;
+    for (int i = 0; i < 2000; ++i)
+        reqs.push_back({0.0, 128, 64});
+    batcher.serve(reqs);
+    const auto &stats = batcher.stats();
+    // Occupancy is measured against the capacity-floored makespan, so
+    // prefill-heavy workloads sit well below 1.0.
+    EXPECT_GT(stats.meanOccupancy, 0.25);
+    EXPECT_EQ(stats.decodedTokens, 2000u * 64u);
+    EXPECT_GT(stats.throughputTokensPerSecond, 50000.0);
+}
+
+TEST(BatcherDeathTest, RejectsUnsortedArrivals)
+{
+    ContinuousBatcher batcher(2, 1e-6, 1e-4);
+    std::vector<Request> reqs{{1.0, 1, 1}, {0.5, 1, 1}};
+    EXPECT_DEATH(batcher.serve(reqs), "sorted");
+}
+
+} // namespace
+} // namespace hnlpu

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel, timeline resources and stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/resource.hh"
+#include "sim/stats.hh"
+
+namespace hnlpu {
+namespace {
+
+TEST(EventQueueTest, ExecutesInTickOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.executed(), 3u);
+}
+
+TEST(EventQueueTest, SameTickFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(7, [&order, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] {
+        ++fired;
+        eq.scheduleIn(5, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueueTest, RunUntilStopsEarly)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueDeathTest, RejectsPastScheduling)
+{
+    EventQueue eq;
+    eq.schedule(10, [&] { eq.schedule(5, [] {}); });
+    EXPECT_DEATH(eq.run(), "past");
+}
+
+TEST(TimelineResourceTest, SerialisesOverlappingRequests)
+{
+    TimelineResource res("r");
+    EXPECT_EQ(res.acquire(0, 10), 0u);
+    // Ready at 5 but the resource is busy until 10.
+    EXPECT_EQ(res.acquire(5, 10), 10u);
+    // Ready at 100, after the resource frees.
+    EXPECT_EQ(res.acquire(100, 10), 100u);
+    EXPECT_EQ(res.busyTicks(), 30u);
+    EXPECT_EQ(res.waitTicks(), 5u);
+    EXPECT_EQ(res.requests(), 3u);
+}
+
+TEST(TimelineResourceTest, UtilizationAndReset)
+{
+    TimelineResource res("r");
+    res.acquire(0, 50);
+    EXPECT_DOUBLE_EQ(res.utilization(100), 0.5);
+    res.reset();
+    EXPECT_EQ(res.busyTicks(), 0u);
+    EXPECT_EQ(res.freeAt(), 0u);
+}
+
+TEST(ResourcePoolTest, LeastLoadedDispatch)
+{
+    ResourcePool pool("p", 2);
+    // Two overlapping requests run in parallel on distinct servers.
+    EXPECT_EQ(pool.acquire(0, 10), 0u);
+    EXPECT_EQ(pool.acquire(0, 10), 0u);
+    // The third must wait for one of them.
+    EXPECT_EQ(pool.acquire(0, 10), 10u);
+    EXPECT_EQ(pool.busyTicks(), 30u);
+    EXPECT_EQ(pool.requests(), 3u);
+}
+
+TEST(AccumulatorTest, Moments)
+{
+    Accumulator acc;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        acc.add(v);
+    EXPECT_EQ(acc.count(), 4u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+    EXPECT_NEAR(acc.variance(), 1.25, 1e-12);
+}
+
+TEST(HistogramTest, BinningAndQuantiles)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i % 10) + 0.5);
+    EXPECT_EQ(h.total(), 100u);
+    EXPECT_EQ(h.binCount(0), 10u);
+    EXPECT_EQ(h.underflow(), 0u);
+    h.add(-1.0);
+    h.add(99.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+}
+
+} // namespace
+} // namespace hnlpu
