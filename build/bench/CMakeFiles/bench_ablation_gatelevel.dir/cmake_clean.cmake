@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gatelevel.dir/bench_ablation_gatelevel.cc.o"
+  "CMakeFiles/bench_ablation_gatelevel.dir/bench_ablation_gatelevel.cc.o.d"
+  "bench_ablation_gatelevel"
+  "bench_ablation_gatelevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gatelevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_metalization.dir/bench_ablation_metalization.cc.o"
+  "CMakeFiles/bench_ablation_metalization.dir/bench_ablation_metalization.cc.o.d"
+  "bench_ablation_metalization"
+  "bench_ablation_metalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_metalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

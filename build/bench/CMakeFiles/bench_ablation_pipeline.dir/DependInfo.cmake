@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_pipeline.cc" "bench/CMakeFiles/bench_ablation_pipeline.dir/bench_ablation_pipeline.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_pipeline.dir/bench_ablation_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/hnlpu_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/chip/CMakeFiles/hnlpu_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/hnlpu_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hnlpu_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hnlpu_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hnlpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hnlpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

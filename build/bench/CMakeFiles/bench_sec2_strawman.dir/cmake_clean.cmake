@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec2_strawman.dir/bench_sec2_strawman.cc.o"
+  "CMakeFiles/bench_sec2_strawman.dir/bench_sec2_strawman.cc.o.d"
+  "bench_sec2_strawman"
+  "bench_sec2_strawman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec2_strawman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_chip.dir/bench_table1_chip.cc.o"
+  "CMakeFiles/bench_table1_chip.dir/bench_table1_chip.cc.o.d"
+  "bench_table1_chip"
+  "bench_table1_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_tco.dir/bench_table3_tco.cc.o"
+  "CMakeFiles/bench_table3_tco.dir/bench_table3_tco.cc.o.d"
+  "bench_table3_tco"
+  "bench_table3_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardwired_inference.dir/hardwired_inference.cpp.o"
+  "CMakeFiles/hardwired_inference.dir/hardwired_inference.cpp.o.d"
+  "hardwired_inference"
+  "hardwired_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardwired_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

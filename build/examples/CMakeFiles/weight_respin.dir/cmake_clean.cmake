@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weight_respin.dir/weight_respin.cpp.o"
+  "CMakeFiles/weight_respin.dir/weight_respin.cpp.o.d"
+  "weight_respin"
+  "weight_respin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weight_respin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("arith")
+subdirs("hn")
+subdirs("model")
+subdirs("xformer")
+subdirs("sim")
+subdirs("noc")
+subdirs("mem")
+subdirs("phys")
+subdirs("chip")
+subdirs("pipeline")
+subdirs("litho")
+subdirs("econ")
+subdirs("baseline")
+subdirs("core")
+subdirs("dataflow")
+subdirs("hncc")
+subdirs("gates")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arith/bitserial.cc" "src/arith/CMakeFiles/hnlpu_arith.dir/bitserial.cc.o" "gcc" "src/arith/CMakeFiles/hnlpu_arith.dir/bitserial.cc.o.d"
+  "/root/repo/src/arith/csa.cc" "src/arith/CMakeFiles/hnlpu_arith.dir/csa.cc.o" "gcc" "src/arith/CMakeFiles/hnlpu_arith.dir/csa.cc.o.d"
+  "/root/repo/src/arith/fp4.cc" "src/arith/CMakeFiles/hnlpu_arith.dir/fp4.cc.o" "gcc" "src/arith/CMakeFiles/hnlpu_arith.dir/fp4.cc.o.d"
+  "/root/repo/src/arith/quantize.cc" "src/arith/CMakeFiles/hnlpu_arith.dir/quantize.cc.o" "gcc" "src/arith/CMakeFiles/hnlpu_arith.dir/quantize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hnlpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

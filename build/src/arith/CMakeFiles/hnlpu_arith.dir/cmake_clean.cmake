@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnlpu_arith.dir/bitserial.cc.o"
+  "CMakeFiles/hnlpu_arith.dir/bitserial.cc.o.d"
+  "CMakeFiles/hnlpu_arith.dir/csa.cc.o"
+  "CMakeFiles/hnlpu_arith.dir/csa.cc.o.d"
+  "CMakeFiles/hnlpu_arith.dir/fp4.cc.o"
+  "CMakeFiles/hnlpu_arith.dir/fp4.cc.o.d"
+  "CMakeFiles/hnlpu_arith.dir/quantize.cc.o"
+  "CMakeFiles/hnlpu_arith.dir/quantize.cc.o.d"
+  "libhnlpu_arith.a"
+  "libhnlpu_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnlpu_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

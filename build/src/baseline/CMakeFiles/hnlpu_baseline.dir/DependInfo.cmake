@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/gpu.cc" "src/baseline/CMakeFiles/hnlpu_baseline.dir/gpu.cc.o" "gcc" "src/baseline/CMakeFiles/hnlpu_baseline.dir/gpu.cc.o.d"
+  "/root/repo/src/baseline/wse.cc" "src/baseline/CMakeFiles/hnlpu_baseline.dir/wse.cc.o" "gcc" "src/baseline/CMakeFiles/hnlpu_baseline.dir/wse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/hnlpu_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hnlpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

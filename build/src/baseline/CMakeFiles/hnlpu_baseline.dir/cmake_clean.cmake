@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnlpu_baseline.dir/gpu.cc.o"
+  "CMakeFiles/hnlpu_baseline.dir/gpu.cc.o.d"
+  "CMakeFiles/hnlpu_baseline.dir/wse.cc.o"
+  "CMakeFiles/hnlpu_baseline.dir/wse.cc.o.d"
+  "libhnlpu_baseline.a"
+  "libhnlpu_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnlpu_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnlpu_chip.dir/timing.cc.o"
+  "CMakeFiles/hnlpu_chip.dir/timing.cc.o.d"
+  "libhnlpu_chip.a"
+  "libhnlpu_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnlpu_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnlpu_common.dir/logging.cc.o"
+  "CMakeFiles/hnlpu_common.dir/logging.cc.o.d"
+  "CMakeFiles/hnlpu_common.dir/rng.cc.o"
+  "CMakeFiles/hnlpu_common.dir/rng.cc.o.d"
+  "CMakeFiles/hnlpu_common.dir/table.cc.o"
+  "CMakeFiles/hnlpu_common.dir/table.cc.o.d"
+  "CMakeFiles/hnlpu_common.dir/units.cc.o"
+  "CMakeFiles/hnlpu_common.dir/units.cc.o.d"
+  "libhnlpu_common.a"
+  "libhnlpu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnlpu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnlpu_core.dir/design.cc.o"
+  "CMakeFiles/hnlpu_core.dir/design.cc.o.d"
+  "libhnlpu_core.a"
+  "libhnlpu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnlpu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

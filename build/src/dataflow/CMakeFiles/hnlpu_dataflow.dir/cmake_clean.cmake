@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnlpu_dataflow.dir/distributed.cc.o"
+  "CMakeFiles/hnlpu_dataflow.dir/distributed.cc.o.d"
+  "libhnlpu_dataflow.a"
+  "libhnlpu_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnlpu_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnlpu_econ.dir/carbon.cc.o"
+  "CMakeFiles/hnlpu_econ.dir/carbon.cc.o.d"
+  "CMakeFiles/hnlpu_econ.dir/nre.cc.o"
+  "CMakeFiles/hnlpu_econ.dir/nre.cc.o.d"
+  "CMakeFiles/hnlpu_econ.dir/tco.cc.o"
+  "CMakeFiles/hnlpu_econ.dir/tco.cc.o.d"
+  "libhnlpu_econ.a"
+  "libhnlpu_econ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnlpu_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

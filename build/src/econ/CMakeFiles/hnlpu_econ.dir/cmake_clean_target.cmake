@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhnlpu_econ.a"
+)

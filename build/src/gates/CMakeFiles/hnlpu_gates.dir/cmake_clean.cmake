@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnlpu_gates.dir/hn_datapath.cc.o"
+  "CMakeFiles/hnlpu_gates.dir/hn_datapath.cc.o.d"
+  "CMakeFiles/hnlpu_gates.dir/netlist.cc.o"
+  "CMakeFiles/hnlpu_gates.dir/netlist.cc.o.d"
+  "libhnlpu_gates.a"
+  "libhnlpu_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnlpu_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

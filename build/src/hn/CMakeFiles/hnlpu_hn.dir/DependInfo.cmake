@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hn/ce_neuron.cc" "src/hn/CMakeFiles/hnlpu_hn.dir/ce_neuron.cc.o" "gcc" "src/hn/CMakeFiles/hnlpu_hn.dir/ce_neuron.cc.o.d"
+  "/root/repo/src/hn/hn_array.cc" "src/hn/CMakeFiles/hnlpu_hn.dir/hn_array.cc.o" "gcc" "src/hn/CMakeFiles/hnlpu_hn.dir/hn_array.cc.o.d"
+  "/root/repo/src/hn/hn_neuron.cc" "src/hn/CMakeFiles/hnlpu_hn.dir/hn_neuron.cc.o" "gcc" "src/hn/CMakeFiles/hnlpu_hn.dir/hn_neuron.cc.o.d"
+  "/root/repo/src/hn/wire_topology.cc" "src/hn/CMakeFiles/hnlpu_hn.dir/wire_topology.cc.o" "gcc" "src/hn/CMakeFiles/hnlpu_hn.dir/wire_topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arith/CMakeFiles/hnlpu_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hnlpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

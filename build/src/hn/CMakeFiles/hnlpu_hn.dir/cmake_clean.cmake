@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnlpu_hn.dir/ce_neuron.cc.o"
+  "CMakeFiles/hnlpu_hn.dir/ce_neuron.cc.o.d"
+  "CMakeFiles/hnlpu_hn.dir/hn_array.cc.o"
+  "CMakeFiles/hnlpu_hn.dir/hn_array.cc.o.d"
+  "CMakeFiles/hnlpu_hn.dir/hn_neuron.cc.o"
+  "CMakeFiles/hnlpu_hn.dir/hn_neuron.cc.o.d"
+  "CMakeFiles/hnlpu_hn.dir/wire_topology.cc.o"
+  "CMakeFiles/hnlpu_hn.dir/wire_topology.cc.o.d"
+  "libhnlpu_hn.a"
+  "libhnlpu_hn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnlpu_hn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

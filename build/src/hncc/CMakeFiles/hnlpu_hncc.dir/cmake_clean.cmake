@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnlpu_hncc.dir/compiler.cc.o"
+  "CMakeFiles/hnlpu_hncc.dir/compiler.cc.o.d"
+  "libhnlpu_hncc.a"
+  "libhnlpu_hncc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnlpu_hncc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/litho/mask_stack.cc" "src/litho/CMakeFiles/hnlpu_litho.dir/mask_stack.cc.o" "gcc" "src/litho/CMakeFiles/hnlpu_litho.dir/mask_stack.cc.o.d"
+  "/root/repo/src/litho/wafer.cc" "src/litho/CMakeFiles/hnlpu_litho.dir/wafer.cc.o" "gcc" "src/litho/CMakeFiles/hnlpu_litho.dir/wafer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/hnlpu_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hnlpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hnlpu_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

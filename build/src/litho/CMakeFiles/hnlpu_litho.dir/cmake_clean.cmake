@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnlpu_litho.dir/mask_stack.cc.o"
+  "CMakeFiles/hnlpu_litho.dir/mask_stack.cc.o.d"
+  "CMakeFiles/hnlpu_litho.dir/wafer.cc.o"
+  "CMakeFiles/hnlpu_litho.dir/wafer.cc.o.d"
+  "libhnlpu_litho.a"
+  "libhnlpu_litho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnlpu_litho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnlpu_mem.dir/hbm.cc.o"
+  "CMakeFiles/hnlpu_mem.dir/hbm.cc.o.d"
+  "CMakeFiles/hnlpu_mem.dir/kv_store.cc.o"
+  "CMakeFiles/hnlpu_mem.dir/kv_store.cc.o.d"
+  "CMakeFiles/hnlpu_mem.dir/sram.cc.o"
+  "CMakeFiles/hnlpu_mem.dir/sram.cc.o.d"
+  "libhnlpu_mem.a"
+  "libhnlpu_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnlpu_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnlpu_model.dir/model_zoo.cc.o"
+  "CMakeFiles/hnlpu_model.dir/model_zoo.cc.o.d"
+  "CMakeFiles/hnlpu_model.dir/partition.cc.o"
+  "CMakeFiles/hnlpu_model.dir/partition.cc.o.d"
+  "CMakeFiles/hnlpu_model.dir/transformer_config.cc.o"
+  "CMakeFiles/hnlpu_model.dir/transformer_config.cc.o.d"
+  "libhnlpu_model.a"
+  "libhnlpu_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnlpu_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

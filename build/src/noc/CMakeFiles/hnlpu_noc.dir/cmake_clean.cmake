@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnlpu_noc.dir/collectives.cc.o"
+  "CMakeFiles/hnlpu_noc.dir/collectives.cc.o.d"
+  "CMakeFiles/hnlpu_noc.dir/fabric.cc.o"
+  "CMakeFiles/hnlpu_noc.dir/fabric.cc.o.d"
+  "CMakeFiles/hnlpu_noc.dir/link.cc.o"
+  "CMakeFiles/hnlpu_noc.dir/link.cc.o.d"
+  "libhnlpu_noc.a"
+  "libhnlpu_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnlpu_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

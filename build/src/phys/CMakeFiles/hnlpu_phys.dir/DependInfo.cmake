@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phys/area_model.cc" "src/phys/CMakeFiles/hnlpu_phys.dir/area_model.cc.o" "gcc" "src/phys/CMakeFiles/hnlpu_phys.dir/area_model.cc.o.d"
+  "/root/repo/src/phys/chip_floorplan.cc" "src/phys/CMakeFiles/hnlpu_phys.dir/chip_floorplan.cc.o" "gcc" "src/phys/CMakeFiles/hnlpu_phys.dir/chip_floorplan.cc.o.d"
+  "/root/repo/src/phys/energy_model.cc" "src/phys/CMakeFiles/hnlpu_phys.dir/energy_model.cc.o" "gcc" "src/phys/CMakeFiles/hnlpu_phys.dir/energy_model.cc.o.d"
+  "/root/repo/src/phys/technology.cc" "src/phys/CMakeFiles/hnlpu_phys.dir/technology.cc.o" "gcc" "src/phys/CMakeFiles/hnlpu_phys.dir/technology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/hnlpu_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hnlpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnlpu_phys.dir/area_model.cc.o"
+  "CMakeFiles/hnlpu_phys.dir/area_model.cc.o.d"
+  "CMakeFiles/hnlpu_phys.dir/chip_floorplan.cc.o"
+  "CMakeFiles/hnlpu_phys.dir/chip_floorplan.cc.o.d"
+  "CMakeFiles/hnlpu_phys.dir/energy_model.cc.o"
+  "CMakeFiles/hnlpu_phys.dir/energy_model.cc.o.d"
+  "CMakeFiles/hnlpu_phys.dir/technology.cc.o"
+  "CMakeFiles/hnlpu_phys.dir/technology.cc.o.d"
+  "libhnlpu_phys.a"
+  "libhnlpu_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnlpu_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnlpu_pipeline.dir/batcher.cc.o"
+  "CMakeFiles/hnlpu_pipeline.dir/batcher.cc.o.d"
+  "CMakeFiles/hnlpu_pipeline.dir/pipeline_sim.cc.o"
+  "CMakeFiles/hnlpu_pipeline.dir/pipeline_sim.cc.o.d"
+  "libhnlpu_pipeline.a"
+  "libhnlpu_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnlpu_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnlpu_sim.dir/event_queue.cc.o"
+  "CMakeFiles/hnlpu_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/hnlpu_sim.dir/resource.cc.o"
+  "CMakeFiles/hnlpu_sim.dir/resource.cc.o.d"
+  "CMakeFiles/hnlpu_sim.dir/stats.cc.o"
+  "CMakeFiles/hnlpu_sim.dir/stats.cc.o.d"
+  "libhnlpu_sim.a"
+  "libhnlpu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnlpu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

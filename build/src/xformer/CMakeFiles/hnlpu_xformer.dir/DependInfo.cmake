@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xformer/engine.cc" "src/xformer/CMakeFiles/hnlpu_xformer.dir/engine.cc.o" "gcc" "src/xformer/CMakeFiles/hnlpu_xformer.dir/engine.cc.o.d"
+  "/root/repo/src/xformer/kv_cache.cc" "src/xformer/CMakeFiles/hnlpu_xformer.dir/kv_cache.cc.o" "gcc" "src/xformer/CMakeFiles/hnlpu_xformer.dir/kv_cache.cc.o.d"
+  "/root/repo/src/xformer/linear.cc" "src/xformer/CMakeFiles/hnlpu_xformer.dir/linear.cc.o" "gcc" "src/xformer/CMakeFiles/hnlpu_xformer.dir/linear.cc.o.d"
+  "/root/repo/src/xformer/lora.cc" "src/xformer/CMakeFiles/hnlpu_xformer.dir/lora.cc.o" "gcc" "src/xformer/CMakeFiles/hnlpu_xformer.dir/lora.cc.o.d"
+  "/root/repo/src/xformer/moe.cc" "src/xformer/CMakeFiles/hnlpu_xformer.dir/moe.cc.o" "gcc" "src/xformer/CMakeFiles/hnlpu_xformer.dir/moe.cc.o.d"
+  "/root/repo/src/xformer/ops.cc" "src/xformer/CMakeFiles/hnlpu_xformer.dir/ops.cc.o" "gcc" "src/xformer/CMakeFiles/hnlpu_xformer.dir/ops.cc.o.d"
+  "/root/repo/src/xformer/sampler.cc" "src/xformer/CMakeFiles/hnlpu_xformer.dir/sampler.cc.o" "gcc" "src/xformer/CMakeFiles/hnlpu_xformer.dir/sampler.cc.o.d"
+  "/root/repo/src/xformer/tensor.cc" "src/xformer/CMakeFiles/hnlpu_xformer.dir/tensor.cc.o" "gcc" "src/xformer/CMakeFiles/hnlpu_xformer.dir/tensor.cc.o.d"
+  "/root/repo/src/xformer/weights.cc" "src/xformer/CMakeFiles/hnlpu_xformer.dir/weights.cc.o" "gcc" "src/xformer/CMakeFiles/hnlpu_xformer.dir/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hn/CMakeFiles/hnlpu_hn.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hnlpu_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/hnlpu_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hnlpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

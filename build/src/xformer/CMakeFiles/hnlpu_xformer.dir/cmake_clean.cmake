@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnlpu_xformer.dir/engine.cc.o"
+  "CMakeFiles/hnlpu_xformer.dir/engine.cc.o.d"
+  "CMakeFiles/hnlpu_xformer.dir/kv_cache.cc.o"
+  "CMakeFiles/hnlpu_xformer.dir/kv_cache.cc.o.d"
+  "CMakeFiles/hnlpu_xformer.dir/linear.cc.o"
+  "CMakeFiles/hnlpu_xformer.dir/linear.cc.o.d"
+  "CMakeFiles/hnlpu_xformer.dir/lora.cc.o"
+  "CMakeFiles/hnlpu_xformer.dir/lora.cc.o.d"
+  "CMakeFiles/hnlpu_xformer.dir/moe.cc.o"
+  "CMakeFiles/hnlpu_xformer.dir/moe.cc.o.d"
+  "CMakeFiles/hnlpu_xformer.dir/ops.cc.o"
+  "CMakeFiles/hnlpu_xformer.dir/ops.cc.o.d"
+  "CMakeFiles/hnlpu_xformer.dir/sampler.cc.o"
+  "CMakeFiles/hnlpu_xformer.dir/sampler.cc.o.d"
+  "CMakeFiles/hnlpu_xformer.dir/tensor.cc.o"
+  "CMakeFiles/hnlpu_xformer.dir/tensor.cc.o.d"
+  "CMakeFiles/hnlpu_xformer.dir/weights.cc.o"
+  "CMakeFiles/hnlpu_xformer.dir/weights.cc.o.d"
+  "libhnlpu_xformer.a"
+  "libhnlpu_xformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnlpu_xformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hnlpu_xformer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arith.dir/test_arith.cc.o"
+  "CMakeFiles/test_arith.dir/test_arith.cc.o.d"
+  "test_arith"
+  "test_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

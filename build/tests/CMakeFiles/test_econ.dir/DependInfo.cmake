@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_econ.cc" "tests/CMakeFiles/test_econ.dir/test_econ.cc.o" "gcc" "tests/CMakeFiles/test_econ.dir/test_econ.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/econ/CMakeFiles/hnlpu_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hnlpu_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/hnlpu_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/hnlpu_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hnlpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_econ.dir/test_econ.cc.o"
+  "CMakeFiles/test_econ.dir/test_econ.cc.o.d"
+  "test_econ"
+  "test_econ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hn.dir/test_hn.cc.o"
+  "CMakeFiles/test_hn.dir/test_hn.cc.o.d"
+  "test_hn"
+  "test_hn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

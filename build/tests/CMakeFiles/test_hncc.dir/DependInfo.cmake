@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_hncc.cc" "tests/CMakeFiles/test_hncc.dir/test_hncc.cc.o" "gcc" "tests/CMakeFiles/test_hncc.dir/test_hncc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hncc/CMakeFiles/hnlpu_hncc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hn/CMakeFiles/hnlpu_hn.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/hnlpu_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/hnlpu_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hnlpu_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hnlpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

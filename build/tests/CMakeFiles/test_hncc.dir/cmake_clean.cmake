@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hncc.dir/test_hncc.cc.o"
+  "CMakeFiles/test_hncc.dir/test_hncc.cc.o.d"
+  "test_hncc"
+  "test_hncc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hncc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_litho.dir/test_litho.cc.o"
+  "CMakeFiles/test_litho.dir/test_litho.cc.o.d"
+  "test_litho"
+  "test_litho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_litho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

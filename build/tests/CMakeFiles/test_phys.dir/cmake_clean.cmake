@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phys.dir/test_phys.cc.o"
+  "CMakeFiles/test_phys.dir/test_phys.cc.o.d"
+  "test_phys"
+  "test_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xformer.dir/test_xformer.cc.o"
+  "CMakeFiles/test_xformer.dir/test_xformer.cc.o.d"
+  "test_xformer"
+  "test_xformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
