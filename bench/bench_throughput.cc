@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Host-side decode throughput of the functional engine across thread
+ * counts (ExecOptions{threads} -> ThreadPool -> row/expert/head
+ * parallelism).
+ *
+ * Runs a scaled gpt-oss-shaped block (same head/expert structure as
+ * gpt-oss 120 B, dimensions shrunk ~10x so the functional simulation
+ * fits a laptop) through a prefill + autoregressive decode loop and
+ * reports tokens/s at 1/2/4/8 threads for the reference float path
+ * and the bit-serial hardwired path.  Because the parallel layer is
+ * bit-exact, every row of the table computes the same tokens -- only
+ * the wall clock changes.
+ *
+ * Usage: bench_throughput [decode_steps_ref] [decode_steps_hw]
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/thread_pool.hh"
+#include "xformer/engine.hh"
+#include "xformer/sampler.hh"
+#include "xformer/weights.hh"
+
+namespace {
+
+using namespace hnlpu;
+
+/** gpt-oss-shaped block at ~1/10 linear scale (see file comment). */
+TransformerConfig
+scaledGptOssBlock()
+{
+    TransformerConfig cfg;
+    cfg.name = "gpt-oss-scaled-block";
+    cfg.hiddenSize = 288;  // 2880 / 10
+    cfg.layerCount = 1;
+    cfg.queryHeads = 8;
+    cfg.kvHeads = 2;       // GQA group of 4, ratio as in gpt-oss
+    cfg.headDim = 36;
+    cfg.vocabSize = 2048;
+    cfg.expertCount = 8;
+    cfg.activeExperts = 2;
+    cfg.expertHidden = 288;
+    cfg.weightBits = 4;
+    cfg.validate();
+    return cfg;
+}
+
+struct Measurement
+{
+    std::size_t threads;
+    double tokensPerSecond;
+};
+
+Measurement
+measure(const TransformerConfig &cfg, const ModelWeights &weights,
+        ExecPath path, std::size_t threads, std::size_t decode_steps)
+{
+    Engine engine(cfg, weights, path, 8, ExecOptions{threads});
+    Sampler greedy(SamplerConfig{}, 1);
+    const std::vector<std::size_t> prompt{7, 301, 42, 1999};
+
+    const auto start = std::chrono::steady_clock::now();
+    engine.generate(prompt, decode_steps, greedy);
+    const auto stop = std::chrono::steady_clock::now();
+
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    const double tokens =
+        static_cast<double>(prompt.size() + decode_steps);
+    return {threads, tokens / seconds};
+}
+
+void
+reportPath(const char *title, const TransformerConfig &cfg,
+           const ModelWeights &weights, ExecPath path,
+           std::size_t decode_steps)
+{
+    bench::banner(title);
+    Table table({"Threads", "Tokens/s", "Speedup vs 1T"});
+    double base = 0.0;
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+        const Measurement m =
+            measure(cfg, weights, path, threads, decode_steps);
+        if (threads == 1)
+            base = m.tokensPerSecond;
+        table.addRow({std::to_string(m.threads),
+                      commaString(m.tokensPerSecond, 2),
+                      commaString(m.tokensPerSecond / base, 2) + "x"});
+    }
+    table.print();
+    std::printf("(hardware concurrency: %u)\n",
+                std::thread::hardware_concurrency());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hnlpu;
+
+    const std::size_t decode_ref =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 48;
+    const std::size_t decode_hw =
+        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+
+    const TransformerConfig cfg = scaledGptOssBlock();
+    bench::banner("Decode throughput vs thread count (" + cfg.name +
+                  ")");
+    std::printf("hidden %zu, %zu experts (top-%zu), %zu query heads, "
+                "vocab %zu\n",
+                cfg.hiddenSize, cfg.expertCount, cfg.activeExperts,
+                cfg.queryHeads, cfg.vocabSize);
+
+    const ModelWeights weights = ModelWeights::randomInit(cfg, 7);
+
+    reportPath("Reference path (float GEMV)", cfg, weights,
+               ExecPath::Reference, decode_ref);
+    reportPath("Hardwired path (bit-serial HN arrays)", cfg, weights,
+               ExecPath::Hardwired, decode_hw);
+    return 0;
+}

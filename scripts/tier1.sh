@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+#
+# Tier-1 verification: full build + test suite, then a ThreadSanitizer
+# rebuild of the parallel execution layer so the lazy hardwired-array
+# call_once fix and the ThreadPool stay honest (a data race fails this
+# script even when it happens not to corrupt a value).
+#
+# Usage: scripts/tier1.sh [build_dir] [tsan_build_dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+TSAN_DIR="${2:-build-tsan}"
+
+echo "== tier-1: build + ctest =="
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+echo "== tier-1: test_parallel under ThreadSanitizer =="
+cmake -B "$TSAN_DIR" -S . -DHNLPU_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j --target test_parallel
+(cd "$TSAN_DIR" && ctest --output-on-failure -R '^test_parallel$')
+
+echo "tier-1 OK"

@@ -1,0 +1,131 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+namespace {
+
+/**
+ * True while this thread is executing a parallelFor body.  A nested
+ * parallelFor (from a worker or from the caller's own chunk) runs
+ * inline instead of re-entering the pool, which would either deadlock
+ * (worker waiting on itself) or clobber the in-flight job state.
+ */
+thread_local bool t_in_parallel_region = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads <= 1)
+        return;
+    workers_.reserve(threads - 1);
+    for (std::size_t i = 1; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+std::pair<std::size_t, std::size_t>
+ThreadPool::chunkRange(std::size_t index, std::size_t chunks,
+                       std::size_t n)
+{
+    hnlpu_assert(chunks > 0 && index < chunks, "chunk index range");
+    const std::size_t base = n / chunks;
+    const std::size_t extra = n % chunks;
+    const std::size_t begin =
+        index * base + std::min(index, extra);
+    const std::size_t size = base + (index < extra ? 1 : 0);
+    return {begin, begin + size};
+}
+
+void
+ThreadPool::parallelFor(std::size_t n, const RangeBody &body)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1 || t_in_parallel_region) {
+        body(0, n);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        body_ = &body;
+        jobSize_ = n;
+        pending_ = workers_.size();
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    // The calling thread always takes chunk 0.
+    const auto [begin, end] = chunkRange(0, threadCount(), n);
+    t_in_parallel_region = true;
+    if (begin < end)
+        body(begin, end);
+    t_in_parallel_region = false;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+    body_ = nullptr;
+}
+
+void
+ThreadPool::workerLoop(std::size_t worker_index)
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        const RangeBody *body = nullptr;
+        std::size_t n = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stop_ || generation_ != seen_generation;
+            });
+            if (stop_)
+                return;
+            seen_generation = generation_;
+            body = body_;
+            n = jobSize_;
+        }
+
+        const auto [begin, end] =
+            chunkRange(worker_index, threadCount(), n);
+        t_in_parallel_region = true;
+        if (begin < end)
+            (*body)(begin, end);
+        t_in_parallel_region = false;
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--pending_ == 0)
+                done_.notify_one();
+        }
+    }
+}
+
+void
+parallelFor(ThreadPool *pool, std::size_t n,
+            const ThreadPool::RangeBody &body)
+{
+    if (n == 0)
+        return;
+    if (pool)
+        pool->parallelFor(n, body);
+    else
+        body(0, n);
+}
+
+} // namespace hnlpu

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic fork-join thread pool for the functional engine.
+ *
+ * The HNLPU derives its throughput from massive spatial parallelism
+ * across the Sea-of-Neurons array; on the host, the software analogue is
+ * row/expert/head-level data parallelism.  This pool is deliberately
+ * work-stealing-free: every parallelFor() statically partitions [0, n)
+ * into one contiguous chunk per thread, so each worker touches a
+ * disjoint slice of the output and parallel execution is bit-exactly
+ * equal to serial execution (see DESIGN.md "Threading model &
+ * determinism").
+ *
+ * Nested parallelFor() calls (e.g. a row-parallel Linear inside an
+ * expert-parallel MoE) are detected via a thread-local flag and run
+ * inline on the calling thread, so the pool can never deadlock on
+ * itself.
+ */
+
+#ifndef HNLPU_COMMON_THREAD_POOL_HH
+#define HNLPU_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace hnlpu {
+
+/** Fixed-size fork-join pool with static range partitioning. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total parallelism including the calling thread;
+     *        the pool spawns threads-1 workers.  threads <= 1 spawns
+     *        nothing and parallelFor() degenerates to a serial loop.
+     */
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total parallelism (workers plus the calling thread). */
+    std::size_t threadCount() const { return workers_.size() + 1; }
+
+    /** Body invoked with a half-open index range [begin, end). */
+    using RangeBody = std::function<void(std::size_t, std::size_t)>;
+
+    /**
+     * Execute body over [0, n) split into threadCount() contiguous
+     * chunks.  The calling thread runs chunk 0 and blocks until every
+     * chunk is done.  Chunk boundaries depend only on (n, threadCount),
+     * never on timing, so any per-index output is deterministic.
+     */
+    void parallelFor(std::size_t n, const RangeBody &body);
+
+    /** The static chunk assigned to @p index out of @p chunks. */
+    static std::pair<std::size_t, std::size_t> chunkRange(
+        std::size_t index, std::size_t chunks, std::size_t n);
+
+  private:
+    void workerLoop(std::size_t worker_index);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::uint64_t generation_ = 0;  //!< job counter workers wake on
+    std::size_t pending_ = 0;       //!< workers still in current job
+    bool stop_ = false;
+    const RangeBody *body_ = nullptr;
+    std::size_t jobSize_ = 0;
+};
+
+/**
+ * Convenience wrapper used throughout the engine: runs @p body over
+ * [0, n) on @p pool, or serially inline when @p pool is null.  All hot
+ * paths take an optional ThreadPool* and call this, so a null pool is
+ * exactly the pre-threading serial code path.
+ */
+void parallelFor(ThreadPool *pool, std::size_t n,
+                 const ThreadPool::RangeBody &body);
+
+} // namespace hnlpu
+
+#endif // HNLPU_COMMON_THREAD_POOL_HH

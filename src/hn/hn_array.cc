@@ -1,7 +1,10 @@
 #include "hn/hn_array.hh"
 
+#include <mutex>
+
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 
 namespace hnlpu {
 
@@ -37,11 +40,26 @@ HnArray::HnArray(const SeaOfNeuronsTemplate &tmpl,
 
 std::vector<std::int64_t>
 HnArray::gemvSerial(const std::vector<std::int64_t> &activations,
-                    unsigned width, HnActivity *activity) const
+                    unsigned width, HnActivity *activity,
+                    ThreadPool *pool) const
 {
     std::vector<std::int64_t> out(neurons_.size());
-    for (std::size_t r = 0; r < neurons_.size(); ++r)
-        out[r] = neurons_[r].computeSerial(activations, width, activity);
+    // Each worker owns a disjoint row range of `out` and a private
+    // activity counter; counters are exact integer sums, so merging
+    // them (in any order) reproduces the serial totals bit-exactly.
+    std::mutex activity_mutex;
+    parallelFor(pool, neurons_.size(),
+                [&](std::size_t begin, std::size_t end) {
+        HnActivity local;
+        HnActivity *local_ptr = activity ? &local : nullptr;
+        for (std::size_t r = begin; r < end; ++r)
+            out[r] = neurons_[r].computeSerial(activations, width,
+                                               local_ptr);
+        if (activity) {
+            std::lock_guard<std::mutex> lock(activity_mutex);
+            activity->add(local);
+        }
+    });
     return out;
 }
 
@@ -56,11 +74,11 @@ HnArray::gemvReference(const std::vector<std::int64_t> &activations) const
 
 std::vector<double>
 HnArray::gemvReal(const std::vector<double> &activations, unsigned width,
-                  HnActivity *activity) const
+                  HnActivity *activity, ThreadPool *pool) const
 {
     const QuantizedVector q = quantizeSymmetric(activations, width);
     const std::vector<std::int64_t> ints =
-        gemvSerial(q.values, width, activity);
+        gemvSerial(q.values, width, activity, pool);
     std::vector<double> out(ints.size());
     // Weights contribute 2*w, so fold the missing 1/2 into the scale.
     const double scale = q.scale * 0.5;

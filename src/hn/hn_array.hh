@@ -27,6 +27,8 @@
 
 namespace hnlpu {
 
+class ThreadPool;
+
 /** Structural summary of a programmed HN array. */
 struct HnArrayStats
 {
@@ -53,10 +55,15 @@ class HnArray
     std::size_t rows() const { return neurons_.size(); }
     std::size_t cols() const { return cols_; }
 
-    /** Bit-serial integer GEMV: out_j = sum_i (2*W_ji) * x_i. */
+    /**
+     * Bit-serial integer GEMV: out_j = sum_i (2*W_ji) * x_i.
+     * With @p pool, output rows are partitioned into disjoint chunks
+     * (one neuron row per output element, so bit-exact vs serial);
+     * per-worker activity counters are summed into @p activity.
+     */
     std::vector<std::int64_t> gemvSerial(
         const std::vector<std::int64_t> &activations, unsigned width,
-        HnActivity *activity = nullptr) const;
+        HnActivity *activity = nullptr, ThreadPool *pool = nullptr) const;
 
     /** Reference integer GEMV (oracle). */
     std::vector<std::int64_t> gemvReference(
@@ -69,7 +76,8 @@ class HnArray
      */
     std::vector<double> gemvReal(const std::vector<double> &activations,
                                  unsigned width = 8,
-                                 HnActivity *activity = nullptr) const;
+                                 HnActivity *activity = nullptr,
+                                 ThreadPool *pool = nullptr) const;
 
     const HardwiredNeuron &neuron(std::size_t row) const;
 

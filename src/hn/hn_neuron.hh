@@ -35,6 +35,19 @@ struct HnActivity
     std::size_t popcountBitOps = 0; //!< bits examined across regions
     std::size_t multiplyOps = 0;    //!< constant multiplies fired
     std::size_t treeAddOps = 0;     //!< final adder-tree additions
+
+    /**
+     * Fold another counter set into this one.  All fields are exact
+     * integer sums, so merging per-worker counters in any order yields
+     * the same totals as a serial accumulation.
+     */
+    void add(const HnActivity &other)
+    {
+        cycles += other.cycles;
+        popcountBitOps += other.popcountBitOps;
+        multiplyOps += other.multiplyOps;
+        treeAddOps += other.treeAddOps;
+    }
 };
 
 /** One Hardwired-Neuron programmed with a wire topology. */

@@ -9,13 +9,17 @@
 namespace hnlpu {
 
 Engine::Engine(const TransformerConfig &cfg, const ModelWeights &weights,
-               ExecPath path, unsigned activation_bits)
+               ExecPath path, unsigned activation_bits,
+               const ExecOptions &exec)
     : cfg_(cfg), weights_(weights), path_(path),
-      activationBits_(activation_bits)
+      activationBits_(activation_bits), exec_(exec)
 {
     cfg_.validate();
     hnlpu_assert(weights_.blocks.size() == cfg_.layerCount,
                  "weights/config layer mismatch");
+    hnlpu_assert(exec_.threads >= 1, "ExecOptions::threads must be >= 1");
+    if (exec_.threads > 1)
+        pool_ = std::make_unique<ThreadPool>(exec_.threads);
     stats_.expertHistogram.assign(cfg_.expertCount, 0);
 }
 
@@ -35,18 +39,19 @@ Engine::attention(const BlockWeights &block, const Vec &x_norm,
 
     HnActivity *act =
         path_ == ExecPath::Hardwired ? &stats_.hnActivity : nullptr;
+    ThreadPool *pool = pool_.get();
 
     Vec q_flat = block.wq.forward(x_norm, path_, activationBits_,
-                                  act);
+                                  act, pool);
     if (lora_) {
         const Vec dq = lora_->wq[layer].delta(x_norm);
         for (std::size_t i = 0; i < q_flat.size(); ++i)
             q_flat[i] += dq[i];
     }
     const Vec k_flat = block.wk.forward(x_norm, path_, activationBits_,
-                                        act);
+                                        act, pool);
     const Vec v_flat = block.wv.forward(x_norm, path_, activationBits_,
-                                        act);
+                                        act, pool);
 
     // Split into heads and apply RoPE to queries and keys.
     std::vector<Vec> q_heads(cfg_.queryHeads);
@@ -69,23 +74,31 @@ Engine::attention(const BlockWeights &block, const Vec &x_norm,
     // only advances after the last layer, so derive from storage:
     const std::size_t context = pos + 1;
 
+    // Per-head parallelism: every head reads the (now frozen) cache and
+    // writes its own disjoint attn_out slice, so the parallel result is
+    // bit-exactly the serial one.
     const double inv_sqrt_d = 1.0 / std::sqrt(double(head_dim));
     Vec attn_out(cfg_.queryHeads * head_dim, 0.0);
-    for (std::size_t h = 0; h < cfg_.queryHeads; ++h) {
-        const std::size_t kv_head = h / group;
-        Vec scores(context);
-        for (std::size_t t = 0; t < context; ++t) {
-            scores[t] = dot(q_heads[h], cache.key(layer, kv_head, t)) *
-                        inv_sqrt_d;
+    parallelFor(pool, cfg_.queryHeads,
+                [&](std::size_t begin, std::size_t end) {
+        for (std::size_t h = begin; h < end; ++h) {
+            const std::size_t kv_head = h / group;
+            Vec scores(context);
+            for (std::size_t t = 0; t < context; ++t) {
+                scores[t] =
+                    dot(q_heads[h], cache.key(layer, kv_head, t)) *
+                    inv_sqrt_d;
+            }
+            const Vec probs = softmax(scores);
+            for (std::size_t t = 0; t < context; ++t) {
+                const Vec &v = cache.value(layer, kv_head, t);
+                for (std::size_t d = 0; d < head_dim; ++d)
+                    attn_out[h * head_dim + d] += probs[t] * v[d];
+            }
         }
-        const Vec probs = softmax(scores);
-        for (std::size_t t = 0; t < context; ++t) {
-            const Vec &v = cache.value(layer, kv_head, t);
-            for (std::size_t d = 0; d < head_dim; ++d)
-                attn_out[h * head_dim + d] += probs[t] * v[d];
-        }
-    }
-    Vec out = block.wo.forward(attn_out, path_, activationBits_, act);
+    });
+    Vec out = block.wo.forward(attn_out, path_, activationBits_, act,
+                               pool);
     if (lora_) {
         const Vec d_o = lora_->wo[layer].delta(attn_out);
         for (std::size_t i = 0; i < out.size(); ++i)
@@ -111,7 +124,7 @@ Engine::forwardHidden(std::size_t token_id, KvCache &cache)
         const Vec ffn_in = rmsNorm(x, block.ffnNormGain);
         std::vector<std::size_t> selected;
         const Vec ffn = block.ffn.forward(ffn_in, path_, activationBits_,
-                                          &selected);
+                                          &selected, pool_.get());
         for (std::size_t e : selected)
             stats_.expertHistogram[e]++;
         x = add(x, ffn);
@@ -128,7 +141,8 @@ Engine::forwardToken(std::size_t token_id, KvCache &cache)
         path_ == ExecPath::Hardwired ? &stats_.hnActivity : nullptr;
     const Vec final_norm = forwardHidden(token_id, cache);
     return weights_.unembedding.forward(final_norm, path_,
-                                        activationBits_, act);
+                                        activationBits_, act,
+                                        pool_.get());
 }
 
 void
@@ -146,6 +160,14 @@ double
 Engine::scoreSequence(const std::vector<std::size_t> &tokens)
 {
     hnlpu_assert(tokens.size() >= 2, "scoring needs >= 2 tokens");
+    // Validate every id up front: the last token is only ever used as a
+    // probs[] target index, so forwardToken's own range check would
+    // never see it and an out-of-range id would read past the logits.
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        hnlpu_assert(tokens[i] < cfg_.vocabSize,
+                     "scoreSequence token ", i, " id ", tokens[i],
+                     " out of vocab range ", cfg_.vocabSize);
+    }
     KvCache cache = makeCache();
     double total_logprob = 0.0;
     for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {

@@ -13,8 +13,10 @@
 #ifndef HNLPU_XFORMER_ENGINE_HH
 #define HNLPU_XFORMER_ENGINE_HH
 
+#include <memory>
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "model/transformer_config.hh"
 #include "xformer/kv_cache.hh"
 #include "xformer/lora.hh"
@@ -22,6 +24,20 @@
 #include "xformer/weights.hh"
 
 namespace hnlpu {
+
+/**
+ * Host-side execution options.
+ *
+ * threads > 1 makes the engine own a ThreadPool and run its hot paths
+ * data-parallel: row-partitioned GEMV in every Linear (both paths),
+ * per-expert MoE evaluation and per-head attention.  All partitioning
+ * is disjoint-output, so results are bit-exactly independent of the
+ * thread count (tests/test_parallel.cc pins this).
+ */
+struct ExecOptions
+{
+    std::size_t threads = 1; //!< total parallelism incl. calling thread
+};
 
 /** Aggregate statistics of a generation run. */
 struct EngineStats
@@ -37,7 +53,8 @@ class Engine
   public:
     /** The engine borrows the weights; they must outlive it. */
     Engine(const TransformerConfig &cfg, const ModelWeights &weights,
-           ExecPath path, unsigned activation_bits = 8);
+           ExecPath path, unsigned activation_bits = 8,
+           const ExecOptions &exec = {});
 
     /**
      * Run one token through the model.
@@ -81,6 +98,7 @@ class Engine
     const EngineStats &stats() const { return stats_; }
     const TransformerConfig &config() const { return cfg_; }
     ExecPath path() const { return path_; }
+    const ExecOptions &execOptions() const { return exec_; }
 
   private:
     /** GQA attention for one block at the cache's current position. */
@@ -94,6 +112,9 @@ class Engine
     const ModelWeights &weights_;
     ExecPath path_;
     unsigned activationBits_;
+    ExecOptions exec_;
+    /** Null when exec_.threads <= 1 (pure serial execution). */
+    std::unique_ptr<ThreadPool> pool_;
     const LoraSet *lora_ = nullptr;
     EngineStats stats_;
 };

@@ -21,6 +21,18 @@ KvCache::append(std::size_t layer, const std::vector<Vec> &keys,
     hnlpu_assert(layer < keys_.size(), "layer out of range");
     hnlpu_assert(keys.size() == kvHeads_ && values.size() == kvHeads_,
                  "append expects one K/V per head");
+    // Layers must append in order 0..L-1 for each token: the length_
+    // heuristic below (count on the last layer) silently miscounts
+    // otherwise.  Appending the same layer twice for one token, or a
+    // later layer before an earlier one, trips these invariants.
+    hnlpu_assert(keys_[layer].front().size() == length_,
+                 "KV append out of order: layer ", layer, " holds ",
+                 keys_[layer].front().size(), " tokens, cache length is ",
+                 length_);
+    hnlpu_assert(layer == 0 ||
+                     keys_[layer - 1].front().size() == length_ + 1,
+                 "KV append skipped layer ", layer - 1,
+                 " for token ", length_);
     for (std::size_t h = 0; h < kvHeads_; ++h) {
         hnlpu_assert(keys[h].size() == headDim_ &&
                          values[h].size() == headDim_,

@@ -4,12 +4,14 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 
 namespace hnlpu {
 
 Linear::Linear(std::vector<Fp4> weights, std::size_t out_dim,
                std::size_t in_dim)
-    : weights_(std::move(weights)), outDim_(out_dim), inDim_(in_dim)
+    : weights_(std::move(weights)), outDim_(out_dim), inDim_(in_dim),
+      hardwiredState_(std::make_shared<HardwiredState>())
 {
     hnlpu_assert(weights_.size() == outDim_ * inDim_,
                  "linear weight count mismatch");
@@ -43,35 +45,38 @@ Linear::random(std::size_t out_dim, std::size_t in_dim,
 const HnArray &
 Linear::hardwired() const
 {
-    if (!hnArray_) {
+    HardwiredState &state = *hardwiredState_;
+    std::call_once(state.once, [&] {
         SeaOfNeuronsTemplate tmpl;
         tmpl.inputCount = inDim_;
         tmpl.portsPerSlice = 16;
         tmpl.slackFactor = 4.0;
-        hnArray_ = std::make_shared<HnArray>(tmpl, weights_, outDim_,
-                                             inDim_);
-    }
-    return *hnArray_;
+        state.array = std::make_unique<HnArray>(tmpl, weights_, outDim_,
+                                                inDim_);
+    });
+    return *state.array;
 }
 
 Vec
 Linear::forward(const Vec &x, ExecPath path, unsigned activation_bits,
-                HnActivity *activity) const
+                HnActivity *activity, ThreadPool *pool) const
 {
     hnlpu_assert(x.size() == inDim_, "linear input size mismatch: ",
                  x.size(), " vs ", inDim_);
     if (path == ExecPath::Hardwired)
-        return hardwired().gemvReal(x, activation_bits, activity);
+        return hardwired().gemvReal(x, activation_bits, activity, pool);
 
     Vec y(outDim_, 0.0);
     const auto &values = fp4ValueTable();
-    for (std::size_t r = 0; r < outDim_; ++r) {
-        double acc = 0.0;
-        const Fp4 *row = weights_.data() + r * inDim_;
-        for (std::size_t c = 0; c < inDim_; ++c)
-            acc += values[row[c].code()] * x[c];
-        y[r] = acc;
-    }
+    parallelFor(pool, outDim_, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+            double acc = 0.0;
+            const Fp4 *row = weights_.data() + r * inDim_;
+            for (std::size_t c = 0; c < inDim_; ++c)
+                acc += values[row[c].code()] * x[c];
+            y[r] = acc;
+        }
+    });
     return y;
 }
 

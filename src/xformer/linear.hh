@@ -17,6 +17,7 @@
 #define HNLPU_XFORMER_LINEAR_HH
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "arith/fp4.hh"
@@ -24,6 +25,8 @@
 #include "xformer/tensor.hh"
 
 namespace hnlpu {
+
+class ThreadPool;
 
 /** Which GEMV implementation a Linear uses. */
 enum class ExecPath { Reference, Hardwired };
@@ -47,10 +50,14 @@ class Linear
      * y = W x on the chosen path.
      * @param activation_bits bit width of the hardwired serial stream
      * @param activity optional HN activity accumulation (hardwired only)
+     * @param pool optional thread pool; output rows are partitioned
+     *        into disjoint contiguous chunks, so the parallel result is
+     *        bit-exactly the serial one
      */
     Vec forward(const Vec &x, ExecPath path,
                 unsigned activation_bits = 8,
-                HnActivity *activity = nullptr) const;
+                HnActivity *activity = nullptr,
+                ThreadPool *pool = nullptr) const;
 
     std::size_t outDim() const { return outDim_; }
     std::size_t inDim() const { return inDim_; }
@@ -75,11 +82,24 @@ class Linear
   private:
     const HnArray &hardwired() const;
 
+    /**
+     * Lazily programmed HN array plus the once-flag guarding its
+     * construction.  Held behind one shared_ptr so copies of a Linear
+     * share both the flag and the array (the flag alone would not
+     * survive copying: std::once_flag is neither copyable nor movable),
+     * and so concurrent first use from several threads programs the
+     * array exactly once (std::call_once publishes the build).
+     */
+    struct HardwiredState
+    {
+        std::once_flag once;
+        std::unique_ptr<HnArray> array;
+    };
+
     std::vector<Fp4> weights_;
     std::size_t outDim_;
     std::size_t inDim_;
-    /** Lazily programmed HN array (shared so Linear stays copyable). */
-    mutable std::shared_ptr<HnArray> hnArray_;
+    std::shared_ptr<HardwiredState> hardwiredState_;
 };
 
 } // namespace hnlpu

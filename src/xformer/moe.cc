@@ -1,6 +1,7 @@
 #include "xformer/moe.hh"
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "xformer/ops.hh"
 
 namespace hnlpu {
@@ -42,7 +43,8 @@ MoeLayer::expert(std::size_t index) const
 Vec
 MoeLayer::forward(const Vec &x_norm, ExecPath path,
                   unsigned activation_bits,
-                  std::vector<std::size_t> *selected) const
+                  std::vector<std::size_t> *selected,
+                  ThreadPool *pool) const
 {
     std::vector<std::size_t> chosen;
     Vec gate_weights;
@@ -64,15 +66,29 @@ MoeLayer::forward(const Vec &x_norm, ExecPath path,
     if (selected)
         *selected = chosen;
 
+    // Each chosen expert evaluates independently into its own buffer
+    // (possibly on different pool workers); the gate-weighted combine
+    // below runs serially in routing order, so the floating-point
+    // accumulation order -- and hence the result -- matches the serial
+    // execution exactly.
+    std::vector<Vec> expert_outs(chosen.size());
+    parallelFor(pool, chosen.size(),
+                [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const Expert &ex = experts_[chosen[i]];
+            const Vec up = ex.up.forward(x_norm, path, activation_bits);
+            const Vec gate =
+                ex.gate.forward(x_norm, path, activation_bits);
+            const Vec activated = swiGlu(gate, up);
+            expert_outs[i] =
+                ex.down.forward(activated, path, activation_bits);
+        }
+    });
+
     Vec out(experts_[0].down.outDim(), 0.0);
     for (std::size_t i = 0; i < chosen.size(); ++i) {
-        const Expert &ex = experts_[chosen[i]];
-        const Vec up = ex.up.forward(x_norm, path, activation_bits);
-        const Vec gate = ex.gate.forward(x_norm, path, activation_bits);
-        const Vec activated = swiGlu(gate, up);
-        Vec down = ex.down.forward(activated, path, activation_bits);
         for (std::size_t d = 0; d < out.size(); ++d)
-            out[d] += gate_weights[i] * down[d];
+            out[d] += gate_weights[i] * expert_outs[i][d];
     }
     return out;
 }

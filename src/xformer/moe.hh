@@ -46,10 +46,14 @@ class MoeLayer
     /**
      * Forward the normalised hidden state.
      * @param selected optional out-param for the chosen expert indices
+     * @param pool optional thread pool; the chosen experts evaluate in
+     *        parallel into private buffers, then combine serially in
+     *        routing order, so the result is bit-exact vs serial
      */
     Vec forward(const Vec &x_norm, ExecPath path,
                 unsigned activation_bits = 8,
-                std::vector<std::size_t> *selected = nullptr) const;
+                std::vector<std::size_t> *selected = nullptr,
+                ThreadPool *pool = nullptr) const;
 
     std::size_t expertCount() const { return experts_.size(); }
     std::size_t activeExperts() const { return activeExperts_; }

@@ -81,10 +81,20 @@ topK(const Vec &values, std::size_t k)
     hnlpu_assert(k <= values.size(), "topK k exceeds size");
     std::vector<std::size_t> idx(values.size());
     std::iota(idx.begin(), idx.end(), 0);
-    std::stable_sort(idx.begin(), idx.end(),
-                     [&](std::size_t a, std::size_t b) {
-                         return values[a] > values[b];
-                     });
+    // Strict-weak order (value desc, index asc): ties break towards the
+    // lower index, matching what a stable full sort would produce -- the
+    // router and sampler both rely on this determinism.
+    const auto better = [&](std::size_t a, std::size_t b) {
+        if (values[a] != values[b])
+            return values[a] > values[b];
+        return a < b;
+    };
+    // O(V + k log k) instead of a full O(V log V) sort per token:
+    // partition the top-k prefix, then order just that prefix.
+    if (k < idx.size())
+        std::nth_element(idx.begin(), idx.begin() + k, idx.end(),
+                         better);
+    std::sort(idx.begin(), idx.begin() + k, better);
     idx.resize(k);
     return idx;
 }

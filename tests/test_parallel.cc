@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Tests for the parallel execution layer: the ThreadPool itself, the
+ * thread-safe lazy HN-array programming (the call_once fix), and the
+ * bit-exact serial-vs-parallel equivalence of every hot path the
+ * engine partitions (Linear rows, HN-array rows, MoE experts,
+ * attention heads, full token decode on both execution paths).
+ *
+ * This binary is also the TSan gate: scripts/tier1.sh rebuilds it with
+ * HNLPU_SANITIZE=thread, so any unsynchronised shared state on these
+ * paths fails the tier-1 run even when it happens not to corrupt a
+ * value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "model/model_zoo.hh"
+#include "xformer/engine.hh"
+#include "xformer/linear.hh"
+#include "xformer/moe.hh"
+#include "xformer/sampler.hh"
+#include "xformer/weights.hh"
+
+namespace hnlpu {
+namespace {
+
+Vec
+randomVec(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Vec x(n);
+    for (double &v : x)
+        v = rng.gaussian(0.0, 1.0);
+    return x;
+}
+
+TEST(ThreadPool, ChunkRangeIsADisjointCover)
+{
+    for (std::size_t n : {0u, 1u, 2u, 7u, 8u, 64u, 1000u}) {
+        for (std::size_t chunks : {1u, 2u, 3u, 4u, 8u, 13u}) {
+            std::size_t expected_begin = 0;
+            for (std::size_t i = 0; i < chunks; ++i) {
+                const auto [begin, end] =
+                    ThreadPool::chunkRange(i, chunks, n);
+                EXPECT_EQ(begin, expected_begin);
+                EXPECT_LE(begin, end);
+                expected_begin = end;
+            }
+            EXPECT_EQ(expected_begin, n);
+        }
+    }
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    for (std::size_t n : {0u, 1u, 3u, 4u, 5u, 129u}) {
+        std::vector<std::atomic<int>> hits(n);
+        for (auto &h : hits)
+            h = 0;
+        pool.parallelFor(n, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                ++hits[i];
+        });
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1u);
+    std::size_t visited = 0;
+    pool.parallelFor(10, [&](std::size_t begin, std::size_t end) {
+        visited += end - begin;
+    });
+    EXPECT_EQ(visited, 10u);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(64);
+    for (auto &h : hits)
+        h = 0;
+    pool.parallelFor(8, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t outer = begin; outer < end; ++outer) {
+            // Nested call from a pool-owned region: must run inline.
+            pool.parallelFor(8, [&](std::size_t b, std::size_t e) {
+                for (std::size_t inner = b; inner < e; ++inner)
+                    ++hits[outer * 8 + inner];
+            });
+        }
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs)
+{
+    ThreadPool pool(3);
+    std::atomic<std::size_t> total{0};
+    for (int job = 0; job < 200; ++job) {
+        pool.parallelFor(17, [&](std::size_t begin, std::size_t end) {
+            total += end - begin;
+        });
+    }
+    EXPECT_EQ(total.load(), 200u * 17u);
+}
+
+// Regression for the lazy hardwired-array data race: before the
+// std::call_once fix, concurrent first use of a Linear's Hardwired
+// path raced on the lazily-built HN array (and TSan flags the old
+// unsynchronised write even when the values survive).
+TEST(Linear, ConcurrentHardwiredFirstUseProgramsOnce)
+{
+    const Linear lin = Linear::random(24, 64, 99);
+    const Vec x = randomVec(64, 5);
+    const Vec serial = lin.forward(x, ExecPath::Hardwired, 12);
+
+    constexpr int kThreads = 8;
+    std::vector<Vec> results(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            results[t] = lin.forward(x, ExecPath::Hardwired, 12);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(results[t], serial) << "thread " << t;
+}
+
+TEST(Linear, CopiesShareTheHardwiredArrayUnderConcurrency)
+{
+    const Linear original = Linear::random(16, 32, 7);
+    const Linear copy = original; // shares the once-flag and array
+    const Vec x = randomVec(32, 11);
+
+    Vec from_original, from_copy;
+    std::thread a([&] {
+        from_original = original.forward(x, ExecPath::Hardwired, 10);
+    });
+    std::thread b([&] {
+        from_copy = copy.forward(x, ExecPath::Hardwired, 10);
+    });
+    a.join();
+    b.join();
+    EXPECT_EQ(from_original, from_copy);
+}
+
+TEST(Linear, ParallelRowsBitExactOnBothPaths)
+{
+    const Linear lin = Linear::random(37, 48, 123);
+    const Vec x = randomVec(48, 17);
+    ThreadPool pool(4);
+
+    const Vec ref_serial = lin.forward(x, ExecPath::Reference);
+    const Vec ref_parallel =
+        lin.forward(x, ExecPath::Reference, 8, nullptr, &pool);
+    EXPECT_EQ(ref_serial, ref_parallel);
+
+    const Vec hw_serial = lin.forward(x, ExecPath::Hardwired, 10);
+    const Vec hw_parallel =
+        lin.forward(x, ExecPath::Hardwired, 10, nullptr, &pool);
+    EXPECT_EQ(hw_serial, hw_parallel);
+}
+
+TEST(Linear, ParallelHardwiredActivityMatchesSerial)
+{
+    const Linear lin = Linear::random(29, 40, 321);
+    const Vec x = randomVec(40, 23);
+    ThreadPool pool(4);
+
+    HnActivity serial, parallel;
+    const Vec a = lin.forward(x, ExecPath::Hardwired, 9, &serial);
+    const Vec b =
+        lin.forward(x, ExecPath::Hardwired, 9, &parallel, &pool);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(serial.cycles, parallel.cycles);
+    EXPECT_EQ(serial.popcountBitOps, parallel.popcountBitOps);
+    EXPECT_EQ(serial.multiplyOps, parallel.multiplyOps);
+    EXPECT_EQ(serial.treeAddOps, parallel.treeAddOps);
+}
+
+MoeLayer
+testMoe(std::size_t hidden, std::size_t experts, std::size_t active,
+        std::uint64_t seed)
+{
+    std::vector<Expert> ex;
+    ex.reserve(experts);
+    for (std::size_t e = 0; e < experts; ++e) {
+        ex.push_back(Expert{
+            Linear::random(hidden * 2, hidden, seed + 3 * e),
+            Linear::random(hidden * 2, hidden, seed + 3 * e + 1),
+            Linear::random(hidden, hidden * 2, seed + 3 * e + 2),
+        });
+    }
+    return MoeLayer(Linear::random(experts, hidden, seed + 1000),
+                    std::move(ex), active);
+}
+
+TEST(MoeLayer, ParallelExpertsBitExact)
+{
+    const MoeLayer moe = testMoe(24, 4, 2, 77);
+    const Vec x = randomVec(24, 31);
+    ThreadPool pool(4);
+
+    for (ExecPath path : {ExecPath::Reference, ExecPath::Hardwired}) {
+        std::vector<std::size_t> serial_sel, parallel_sel;
+        const Vec serial = moe.forward(x, path, 10, &serial_sel);
+        const Vec parallel =
+            moe.forward(x, path, 10, &parallel_sel, &pool);
+        EXPECT_EQ(serial, parallel);
+        EXPECT_EQ(serial_sel, parallel_sel);
+    }
+}
+
+struct EngineRun
+{
+    std::vector<Vec> logits;
+    std::vector<std::size_t> generated;
+    EngineStats stats;
+};
+
+EngineRun
+runEngine(const TransformerConfig &cfg, const ModelWeights &weights,
+          ExecPath path, std::size_t threads)
+{
+    Engine engine(cfg, weights, path, 8, ExecOptions{threads});
+    KvCache cache = engine.makeCache();
+    EngineRun run;
+    for (std::size_t token : {3u, 17u, 42u, 8u})
+        run.logits.push_back(engine.forwardToken(token, cache));
+
+    Sampler greedy(SamplerConfig{}, 1);
+    run.generated = engine.generate({3, 17, 42}, 6, greedy);
+    run.stats = engine.stats();
+    return run;
+}
+
+void
+expectRunsEqual(const EngineRun &serial, const EngineRun &parallel)
+{
+    ASSERT_EQ(serial.logits.size(), parallel.logits.size());
+    for (std::size_t i = 0; i < serial.logits.size(); ++i)
+        EXPECT_EQ(serial.logits[i], parallel.logits[i])
+            << "logits diverge at step " << i;
+    EXPECT_EQ(serial.generated, parallel.generated);
+    EXPECT_EQ(serial.stats.expertHistogram,
+              parallel.stats.expertHistogram);
+    EXPECT_EQ(serial.stats.hnActivity.cycles,
+              parallel.stats.hnActivity.cycles);
+    EXPECT_EQ(serial.stats.hnActivity.popcountBitOps,
+              parallel.stats.hnActivity.popcountBitOps);
+    EXPECT_EQ(serial.stats.hnActivity.multiplyOps,
+              parallel.stats.hnActivity.multiplyOps);
+    EXPECT_EQ(serial.stats.hnActivity.treeAddOps,
+              parallel.stats.hnActivity.treeAddOps);
+}
+
+TEST(Engine, ParallelDecodeBitExactOnReferencePath)
+{
+    const TransformerConfig cfg = tinyTestModel();
+    const ModelWeights weights = ModelWeights::randomInit(cfg, 1234);
+    const EngineRun serial =
+        runEngine(cfg, weights, ExecPath::Reference, 1);
+    for (std::size_t threads : {2u, 4u}) {
+        const EngineRun parallel =
+            runEngine(cfg, weights, ExecPath::Reference, threads);
+        expectRunsEqual(serial, parallel);
+    }
+}
+
+TEST(Engine, ParallelDecodeBitExactOnHardwiredPath)
+{
+    const TransformerConfig cfg = tinyTestModel();
+    const ModelWeights weights = ModelWeights::randomInit(cfg, 1234);
+    const EngineRun serial =
+        runEngine(cfg, weights, ExecPath::Hardwired, 1);
+    const EngineRun parallel =
+        runEngine(cfg, weights, ExecPath::Hardwired, 4);
+    expectRunsEqual(serial, parallel);
+}
+
+TEST(Engine, ScoreAndEmbedBitExactUnderThreads)
+{
+    const TransformerConfig cfg = tinyTestModel();
+    const ModelWeights weights = ModelWeights::randomInit(cfg, 99);
+    const std::vector<std::size_t> tokens{1, 5, 9, 2, 60};
+
+    Engine serial(cfg, weights, ExecPath::Reference);
+    Engine parallel(cfg, weights, ExecPath::Reference, 8,
+                    ExecOptions{4});
+    EXPECT_EQ(serial.scoreSequence(tokens),
+              parallel.scoreSequence(tokens));
+    EXPECT_EQ(serial.embedSequence(tokens),
+              parallel.embedSequence(tokens));
+}
+
+} // namespace
+} // namespace hnlpu

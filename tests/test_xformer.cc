@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
+#include "common/rng.hh"
 #include "model/model_zoo.hh"
 #include "xformer/engine.hh"
 #include "xformer/linear.hh"
@@ -326,6 +329,72 @@ TEST(EngineTest, StatsAccumulate)
     EXPECT_EQ(routed,
               engine.stats().tokensProcessed * cfg.layerCount *
                   cfg.activeExperts);
+}
+
+TEST(Ops, TopKMatchesFullStableSortReference)
+{
+    // topK now uses nth_element + a small prefix sort; pin it to the
+    // old full-stable-sort semantics (value desc, index asc on ties).
+    Rng rng(2024);
+    for (int trial = 0; trial < 20; ++trial) {
+        Vec values(97);
+        for (double &v : values) {
+            v = rng.gaussian(0.0, 1.0);
+            // Coarsen so ties actually occur.
+            v = std::round(v * 4.0) / 4.0;
+        }
+        std::vector<std::size_t> reference(values.size());
+        std::iota(reference.begin(), reference.end(), 0);
+        std::stable_sort(reference.begin(), reference.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return values[a] > values[b];
+                         });
+        for (std::size_t k : {0u, 1u, 2u, 8u, 96u, 97u}) {
+            const auto got = topK(values, k);
+            ASSERT_EQ(got.size(), k);
+            for (std::size_t i = 0; i < k; ++i)
+                EXPECT_EQ(got[i], reference[i])
+                    << "trial " << trial << " k " << k << " rank " << i;
+        }
+    }
+}
+
+TEST(KvCacheTest, OutOfOrderAppendIsRejected)
+{
+    // The length_ heuristic counts tokens on the last layer's append;
+    // out-of-order appends used to miscount silently.
+    std::vector<Vec> k{{1, 2}, {3, 4}};
+    std::vector<Vec> v{{5, 6}, {7, 8}};
+
+    KvCache skip(2, 2, 2);
+    EXPECT_DEATH(skip.append(1, k, v), "skipped layer");
+
+    KvCache twice(2, 2, 2);
+    twice.append(0, k, v);
+    EXPECT_DEATH(twice.append(0, k, v), "out of order");
+
+    // The legal order still tracks length correctly.
+    KvCache ok(2, 2, 2);
+    ok.append(0, k, v);
+    ok.append(1, k, v);
+    EXPECT_EQ(ok.length(), 1u);
+    ok.append(0, k, v);
+    ok.append(1, k, v);
+    EXPECT_EQ(ok.length(), 2u);
+}
+
+TEST(EngineTest, ScoreSequenceRejectsOutOfRangeIds)
+{
+    const auto cfg = tinyTestModel();
+    const auto weights = ModelWeights::randomInit(cfg, 5);
+    Engine engine(cfg, weights, ExecPath::Reference);
+    // An out-of-range id in the *last* position is only ever used as a
+    // probs[] index, so without up-front validation it read past the
+    // vocab-sized logits instead of tripping forwardToken's check.
+    EXPECT_DEATH(engine.scoreSequence({1, 2, cfg.vocabSize}),
+                 "out of vocab range");
+    EXPECT_DEATH(engine.scoreSequence({cfg.vocabSize, 1, 2}),
+                 "out of vocab range");
 }
 
 TEST(EngineTest, DeterministicAcrossRuns)
