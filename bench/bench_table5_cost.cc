@@ -73,5 +73,31 @@ main()
                 cost.wafers().economics(827.08).grossDiesPerWafer,
                 cost.wafers().economics(827.08).yield * 100.0,
                 cost.wafers().economics(827.08).goodDiesPerWafer);
+
+    // Spare-neuron repair sensitivity: a fraction of defects lands in
+    // HN-array rows that spare neurons absorb, lifting effective yield
+    // and lowering every wafer-borne cost (src/fault, src/litho).
+    bench::banner("Spare-neuron repair sensitivity (30% of defects "
+                  "repairable)");
+    Table repair_table({"Spare rows", "Effective yield",
+                        "Wafer ($/chip)", "Recurring low ($/chip)"});
+    for (std::size_t spares : {0, 1, 2, 4, 8}) {
+        SpareRepairParams repair;
+        repair.spareRows = spares;
+        repair.repairableFraction = 0.3;
+        HnlpuCostModel repaired(n5Technology(), MaskStack{},
+                                RecurringCostParams{},
+                                DesignCostParams{}, repair);
+        const auto rbd = repaired.breakdown(gptOss120b());
+        char yield_buf[32];
+        std::snprintf(yield_buf, sizeof(yield_buf), "%.1f%%",
+                      repaired.wafers().effectiveYield(827.08, repair) *
+                          100.0);
+        repair_table.addRow({std::to_string(spares), yield_buf,
+                             dollarString(rbd.waferPerChip, 3),
+                             dollarString(rbd.recurringPerChip().lo,
+                                          4)});
+    }
+    repair_table.print();
     return 0;
 }

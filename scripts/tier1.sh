@@ -5,12 +5,18 @@
 # call_once fix and the ThreadPool stay honest (a data race fails this
 # script even when it happens not to corrupt a value).
 #
-# Usage: scripts/tier1.sh [build_dir] [tsan_build_dir]
+# The fault-injection tests additionally run under AddressSanitizer:
+# fault plans index weight matrices and dead-row masks by generated
+# coordinates, exactly the kind of arithmetic where an off-by-one reads
+# out of bounds without failing a functional assertion.
+#
+# Usage: scripts/tier1.sh [build_dir] [tsan_build_dir] [asan_build_dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 TSAN_DIR="${2:-build-tsan}"
+ASAN_DIR="${3:-build-asan}"
 
 echo "== tier-1: build + ctest =="
 cmake -B "$BUILD_DIR" -S .
@@ -21,5 +27,10 @@ echo "== tier-1: test_parallel under ThreadSanitizer =="
 cmake -B "$TSAN_DIR" -S . -DHNLPU_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j --target test_parallel
 (cd "$TSAN_DIR" && ctest --output-on-failure -R '^test_parallel$')
+
+echo "== tier-1: fault tests under AddressSanitizer =="
+cmake -B "$ASAN_DIR" -S . -DHNLPU_SANITIZE=address
+cmake --build "$ASAN_DIR" -j --target test_fault
+(cd "$ASAN_DIR" && ctest --output-on-failure -L '^fault$')
 
 echo "tier-1 OK"

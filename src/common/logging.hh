@@ -12,6 +12,8 @@
 #ifndef HNLPU_COMMON_LOGGING_HH
 #define HNLPU_COMMON_LOGGING_HH
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -43,6 +45,39 @@ concat(Args &&...args)
     return oss.str();
 }
 
+/**
+ * Per-call-site throttle for hnlpu_warn_ratelimited: the first kBurst
+ * occurrences log, then only every kPeriod-th does, so degraded-mode
+ * events (link retries, dead chips, spare remaps) cannot flood stderr
+ * during long simulations.  Counting is atomic so concurrent workers
+ * share one limiter safely.
+ */
+class WarnRateLimiter
+{
+  public:
+    static constexpr std::uint64_t kBurst = 5;
+    static constexpr std::uint64_t kPeriod = 1000;
+
+    /** Register one occurrence; true when this one should be logged. */
+    bool
+    shouldLog()
+    {
+        const std::uint64_t n =
+            count_.fetch_add(1, std::memory_order_relaxed);
+        return n < kBurst || (n - kBurst + 1) % kPeriod == 0;
+    }
+
+    /** Occurrences registered so far. */
+    std::uint64_t
+    occurrences() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> count_{0};
+};
+
 } // namespace detail
 
 } // namespace hnlpu
@@ -55,6 +90,22 @@ concat(Args &&...args)
                        __LINE__)
 #define hnlpu_warn(...) \
     ::hnlpu::warnImpl(::hnlpu::detail::concat(__VA_ARGS__))
+
+/**
+ * Rate-limited warn: one static limiter per call site.  After the first
+ * few occurrences only every N-th is printed, annotated with the total
+ * count so suppressed events stay visible in aggregate.
+ */
+#define hnlpu_warn_ratelimited(...) \
+    do { \
+        static ::hnlpu::detail::WarnRateLimiter hnlpu_rate_limiter_; \
+        if (hnlpu_rate_limiter_.shouldLog()) { \
+            ::hnlpu::warnImpl(::hnlpu::detail::concat( \
+                __VA_ARGS__, " [occurrence ", \
+                hnlpu_rate_limiter_.occurrences(), \
+                " at this call site]")); \
+        } \
+    } while (0)
 #define hnlpu_inform(...) \
     ::hnlpu::informImpl(::hnlpu::detail::concat(__VA_ARGS__))
 

@@ -54,10 +54,12 @@ HnlpuCostBreakdown::respin(std::size_t nodes) const
 
 HnlpuCostModel::HnlpuCostModel(TechnologyParams tech, MaskStack masks,
                                RecurringCostParams recurring,
-                               DesignCostParams design)
+                               DesignCostParams design,
+                               SpareRepairParams repair)
     : tech_(tech), masks_(masks), wafers_(tech), recurring_(recurring),
-      design_(design)
+      design_(design), repair_(repair)
 {
+    repair_.validate();
 }
 
 std::size_t
@@ -83,7 +85,7 @@ HnlpuCostModel::breakdown(const TransformerConfig &model,
                             WaferModel::kReticleLimit);
     }
 
-    const WaferEconomics wafer = wafers_.economics(die_area);
+    const WaferEconomics wafer = wafers_.economics(die_area, repair_);
     bd.waferPerChip = wafer.costPerGoodDie;
     bd.packageTestPerChip =
         recurring_.packageTestPerWafer * (1.0 / wafer.goodDiesPerWafer);

@@ -70,9 +70,16 @@ struct HnlpuCostBreakdown
 class HnlpuCostModel
 {
   public:
+    /**
+     * @param repair spare-neuron repair budget; lifts effective yield
+     *        (litho::WaferModel::effectiveYield), lowering the wafer
+     *        share of every recurring cost.  Defaults to no repair,
+     *        which reproduces the paper's Table 5 numbers exactly.
+     */
     HnlpuCostModel(TechnologyParams tech, MaskStack masks,
                    RecurringCostParams recurring = RecurringCostParams{},
-                   DesignCostParams design = DesignCostParams{});
+                   DesignCostParams design = DesignCostParams{},
+                   SpareRepairParams repair = SpareRepairParams{});
 
     /**
      * Cost breakdown for hardwiring @p model.
@@ -93,6 +100,7 @@ class HnlpuCostModel
 
     const MaskStack &masks() const { return masks_; }
     const WaferModel &wafers() const { return wafers_; }
+    const SpareRepairParams &repair() const { return repair_; }
 
   private:
     TechnologyParams tech_;
@@ -100,6 +108,7 @@ class HnlpuCostModel
     WaferModel wafers_;
     RecurringCostParams recurring_;
     DesignCostParams design_;
+    SpareRepairParams repair_;
 };
 
 } // namespace hnlpu

@@ -1,0 +1,157 @@
+#include "fault/fault_plan.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "fault/repair.hh"
+
+namespace hnlpu {
+
+namespace {
+
+/**
+ * Geometric gap to the next faulty position for per-position
+ * probability @p p (inverse-CDF sampling).  One uniform draw per fault,
+ * so generation is O(#faults), not O(#positions), and the stream is
+ * identical for any array large enough to contain the faults.
+ */
+std::uint64_t
+geometricGap(Rng &rng, double p)
+{
+    if (p >= 1.0)
+        return 0;
+    const double u = rng.uniform01();
+    // floor(log(1-u) / log(1-p)): number of clean positions before the
+    // next fault.  1-u is in (0, 1], so the log is finite or zero.
+    const double gap = std::floor(std::log1p(-u) / std::log1p(-p));
+    if (gap >= 1e18) // degenerate p ~ 0 underflow guard
+        return std::uint64_t(1) << 62;
+    return std::uint64_t(gap);
+}
+
+} // namespace
+
+void
+FaultModelParams::validate() const
+{
+    if (stuckBitRate < 0.0 || stuckBitRate > 1.0) {
+        hnlpu_fatal("FaultModelParams::stuckBitRate must be in [0,1], "
+                    "got ", stuckBitRate);
+    }
+    if (deadRowRate < 0.0 || deadRowRate > 1.0) {
+        hnlpu_fatal("FaultModelParams::deadRowRate must be in [0,1], "
+                    "got ", deadRowRate);
+    }
+}
+
+std::size_t
+ArrayFaultPlan::applyToCodes(std::vector<Fp4> &codes) const
+{
+    hnlpu_assert(codes.size() == rows * cols,
+                 "fault plan ", arrayId, " geometry ", rows, "x", cols,
+                 " does not match code matrix of ", codes.size());
+    std::size_t changed = 0;
+    for (const StuckBitFault &f : stuckBits) {
+        const std::size_t idx = std::size_t(f.row) * cols + f.col;
+        const std::uint8_t mask = std::uint8_t(1u << f.bit);
+        const std::uint8_t old_code = codes[idx].code();
+        const std::uint8_t new_code =
+            f.stuckHigh ? std::uint8_t(old_code | mask)
+                        : std::uint8_t(old_code & ~mask);
+        if (new_code != old_code) {
+            codes[idx] = Fp4::fromCode(new_code);
+            ++changed;
+        }
+    }
+    return changed;
+}
+
+std::string
+ArrayFaultPlan::serialize() const
+{
+    std::ostringstream oss;
+    oss << "fault-plan/v1 id=" << arrayId << " rows=" << rows
+        << " cols=" << cols << "\n";
+    oss << "stuck " << stuckBits.size() << ":";
+    for (const StuckBitFault &f : stuckBits) {
+        oss << ' ' << f.row << ',' << f.col << ',' << unsigned(f.bit)
+            << ',' << (f.stuckHigh ? '1' : '0');
+    }
+    oss << "\ndead " << deadRows.size() << ":";
+    for (std::uint32_t r : deadRows)
+        oss << ' ' << r;
+    oss << "\nrepaired " << repairedRows.size() << ":";
+    for (std::uint32_t r : repairedRows)
+        oss << ' ' << r;
+    oss << "\n";
+    return oss.str();
+}
+
+std::uint64_t
+ArrayFaultPlan::fingerprint() const
+{
+    return fnv1a64(serialize());
+}
+
+std::uint64_t
+fnv1a64(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+FaultInjector::FaultInjector(FaultModelParams params) : params_(params)
+{
+    params_.validate();
+}
+
+ArrayFaultPlan
+FaultInjector::plan(std::string_view array_id, std::size_t rows,
+                    std::size_t cols) const
+{
+    ArrayFaultPlan plan;
+    plan.arrayId = array_id;
+    plan.rows = rows;
+    plan.cols = cols;
+    if (!params_.enabled() || rows == 0 || cols == 0)
+        return plan;
+
+    Rng rng(params_.seed ^ fnv1a64(array_id));
+
+    // Dead rows: geometric skip over the row index space.
+    if (params_.deadRowRate > 0.0) {
+        std::uint64_t row = geometricGap(rng, params_.deadRowRate);
+        while (row < rows) {
+            plan.deadRows.push_back(std::uint32_t(row));
+            row += 1 + geometricGap(rng, params_.deadRowRate);
+        }
+    }
+
+    // Stuck bits: geometric skip over the flattened bit index space
+    // (row-major codes, 4 bits per code, LSB first).
+    if (params_.stuckBitRate > 0.0) {
+        const std::uint64_t bit_count =
+            std::uint64_t(rows) * cols * 4;
+        std::uint64_t bit = geometricGap(rng, params_.stuckBitRate);
+        while (bit < bit_count) {
+            StuckBitFault f;
+            f.row = std::uint32_t(bit / (std::uint64_t(cols) * 4));
+            f.col = std::uint32_t((bit / 4) % cols);
+            f.bit = std::uint8_t(bit % 4);
+            f.stuckHigh = (rng.next() & 1) != 0;
+            plan.stuckBits.push_back(f);
+            bit += 1 + geometricGap(rng, params_.stuckBitRate);
+        }
+    }
+
+    applySpareRepair(plan, params_.spareRows);
+    return plan;
+}
+
+} // namespace hnlpu

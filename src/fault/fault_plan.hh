@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Deterministic fault-injection plans for Metal-Embedding HN arrays.
+ *
+ * The paper's economics lean on manufacturing yield over very large
+ * hardwired dies, and on weights frozen in metal that cannot be patched
+ * after fab.  This module models the two defect classes that survive
+ * wafer test on such a die:
+ *
+ *  - *stuck-at weight-bit faults*: one metal via of a weight's 4-bit
+ *    FP4 code shorts high or opens low, so the input wire lands in the
+ *    wrong POPCNT region -- the neuron computes with a wrong (but
+ *    well-defined) weight value;
+ *  - *dead neurons (dead rows)*: a defect inside the shared POPCNT /
+ *    multiplier / adder-tree silicon kills the whole output row; its
+ *    output net reads 0.
+ *
+ * The sea-of-neurons base array is parameter independent, which makes
+ * spare-row repair natural: a dead row's weight vector can be embedded
+ * onto a spare neuron at metalization time (src/fault/repair).
+ *
+ * Everything is seed-deterministic: the same FaultModelParams produce a
+ * byte-identical plan for the same array identity and geometry, so every
+ * faulty behavior is pinnable in tests.  Plans are generated from the
+ * geometry alone (never from the weight values), so a plan commutes with
+ * weight changes and with row/column slicing.
+ */
+
+#ifndef HNLPU_FAULT_FAULT_PLAN_HH
+#define HNLPU_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arith/fp4.hh"
+
+namespace hnlpu {
+
+/** Defect-density knobs of the fault injector. */
+struct FaultModelParams
+{
+    /** Master seed; per-array streams are derived from it. */
+    std::uint64_t seed = 0;
+    /** Probability that one weight-code bit is stuck (per bit). */
+    double stuckBitRate = 0.0;
+    /** Probability that one neuron row is dead (per row). */
+    double deadRowRate = 0.0;
+    /** Spare neuron rows available per array for dead-row repair. */
+    std::size_t spareRows = 0;
+
+    /** True when any defect class has a nonzero rate. */
+    bool enabled() const
+    {
+        return stuckBitRate > 0.0 || deadRowRate > 0.0;
+    }
+
+    /** Fatal on rates outside [0, 1]. */
+    void validate() const;
+};
+
+/** One stuck-at fault on a weight-code bit. */
+struct StuckBitFault
+{
+    std::uint32_t row = 0;
+    std::uint32_t col = 0;
+    std::uint8_t bit = 0;   //!< FP4 code bit 0..3
+    bool stuckHigh = false; //!< stuck-at-1 vs stuck-at-0
+
+    bool operator==(const StuckBitFault &) const = default;
+};
+
+/** The complete, repair-adjusted fault plan for one HN array. */
+struct ArrayFaultPlan
+{
+    std::string arrayId;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    /** Stuck bits on live (non-repaired) rows, in generation order. */
+    std::vector<StuckBitFault> stuckBits;
+    /** Dead rows that could not be repaired; sorted ascending. */
+    std::vector<std::uint32_t> deadRows;
+    /** Dead rows remapped onto spares; sorted ascending. */
+    std::vector<std::uint32_t> repairedRows;
+
+    /** True when the plan perturbs nothing. */
+    bool empty() const
+    {
+        return stuckBits.empty() && deadRows.empty();
+    }
+
+    /**
+     * Apply the stuck-at faults to a row-major code matrix in place.
+     * Dead rows are NOT zeroed here -- their metal exists; the output
+     * masking lives in HnArray/Linear.
+     * @return number of bits whose value actually changed
+     */
+    std::size_t applyToCodes(std::vector<Fp4> &codes) const;
+
+    /**
+     * Canonical byte-stable textual form (the determinism contract:
+     * same seed => identical serialization).
+     */
+    std::string serialize() const;
+
+    /** FNV-1a hash of serialize() for cheap equality pins. */
+    std::uint64_t fingerprint() const;
+};
+
+/** Stable 64-bit FNV-1a used for per-array seed derivation. */
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/** Generates per-array fault plans from one master seed. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultModelParams params);
+
+    /**
+     * The deterministic plan for the array named @p array_id with the
+     * given geometry.  The per-array random stream is seeded with
+     * seed ^ fnv1a64(array_id), so plans are independent of generation
+     * order and of every other array in the model.  Spare-row repair
+     * (params.spareRows) is already applied to the returned plan.
+     */
+    ArrayFaultPlan plan(std::string_view array_id, std::size_t rows,
+                        std::size_t cols) const;
+
+    const FaultModelParams &params() const { return params_; }
+
+  private:
+    FaultModelParams params_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_FAULT_FAULT_PLAN_HH

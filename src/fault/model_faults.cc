@@ -1,0 +1,94 @@
+#include "fault/model_faults.hh"
+
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+namespace {
+
+void
+accumulate(ModelFaultStats *stats, const ArrayFaultPlan &plan,
+           std::size_t flipped)
+{
+    if (!stats)
+        return;
+    ++stats->arrays;
+    stats->stuckBits += plan.stuckBits.size();
+    stats->flippedBits += flipped;
+    stats->deadRows += plan.deadRows.size();
+    stats->repairedRows += plan.repairedRows.size();
+}
+
+} // namespace
+
+Linear
+applyToLinear(const FaultInjector &injector, const Linear &clean,
+              std::string_view array_id, ModelFaultStats *stats)
+{
+    const ArrayFaultPlan plan =
+        injector.plan(array_id, clean.outDim(), clean.inDim());
+    if (plan.empty()) {
+        accumulate(stats, plan, 0);
+        return clean;
+    }
+    std::vector<Fp4> codes = clean.codes();
+    const std::size_t flipped = plan.applyToCodes(codes);
+    accumulate(stats, plan, flipped);
+    return Linear(std::move(codes), clean.outDim(), clean.inDim(),
+                  plan.deadRows);
+}
+
+ModelWeights
+applyToModel(const ModelWeights &clean, const TransformerConfig &cfg,
+             const FaultInjector &injector, ModelFaultStats *stats)
+{
+    (void)cfg;
+    if (!injector.params().enabled())
+        return clean;
+
+    ModelWeights faulty = clean;
+    for (std::size_t l = 0; l < faulty.blocks.size(); ++l) {
+        BlockWeights &block = faulty.blocks[l];
+        const std::string prefix = "block" + std::to_string(l) + ".";
+        block.wq = applyToLinear(injector, block.wq, prefix + "wq",
+                                 stats);
+        block.wk = applyToLinear(injector, block.wk, prefix + "wk",
+                                 stats);
+        block.wv = applyToLinear(injector, block.wv, prefix + "wv",
+                                 stats);
+        block.wo = applyToLinear(injector, block.wo, prefix + "wo",
+                                 stats);
+
+        const MoeLayer &ffn = block.ffn;
+        std::vector<Expert> experts;
+        experts.reserve(ffn.expertCount());
+        for (std::size_t e = 0; e < ffn.expertCount(); ++e) {
+            const std::string ep =
+                prefix + "expert" + std::to_string(e) + ".";
+            const Expert &x = ffn.expert(e);
+            experts.push_back(Expert{
+                applyToLinear(injector, x.up, ep + "up", stats),
+                applyToLinear(injector, x.gate, ep + "gate", stats),
+                applyToLinear(injector, x.down, ep + "down", stats),
+            });
+        }
+        if (ffn.expertCount() == 1) {
+            block.ffn = MoeLayer::dense(std::move(experts.front()));
+        } else {
+            block.ffn = MoeLayer(
+                applyToLinear(injector, ffn.router(), prefix + "router",
+                              stats),
+                std::move(experts), ffn.activeExperts());
+        }
+    }
+    faulty.unembedding =
+        applyToLinear(injector, faulty.unembedding, "unembedding",
+                      stats);
+    // faulty.embedding stays clean: HBM-resident, ECC protected.
+    return faulty;
+}
+
+} // namespace hnlpu

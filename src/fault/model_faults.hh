@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Applying fault plans to transformer weights.
+ *
+ * Every weight-bearing projection of the model is an HN array with a
+ * stable identity derived from its position (block index, projection
+ * name, expert index).  applyToModel() asks the injector for each
+ * array's plan and rebuilds the projection with stuck bits burned into
+ * its FP4 codes and unrepaired dead rows masked -- on BOTH execution
+ * paths, so reference-path equivalence tests (monolithic vs
+ * distributed) keep holding under faults.
+ *
+ * The embedding table is deliberately untouched: embedding lookup is an
+ * HBM fetch (paper Fig. 10 (I)), and HBM carries ECC -- metal stuck-at
+ * faults are an HN-array phenomenon.
+ */
+
+#ifndef HNLPU_FAULT_MODEL_FAULTS_HH
+#define HNLPU_FAULT_MODEL_FAULTS_HH
+
+#include <string_view>
+
+#include "fault/fault_plan.hh"
+#include "model/transformer_config.hh"
+#include "xformer/linear.hh"
+#include "xformer/weights.hh"
+
+namespace hnlpu {
+
+/** Totals over every array plan applied to a model. */
+struct ModelFaultStats
+{
+    std::size_t arrays = 0;       //!< weight arrays visited
+    std::size_t stuckBits = 0;    //!< stuck bits on live rows
+    std::size_t flippedBits = 0;  //!< stuck bits that changed a value
+    std::size_t deadRows = 0;     //!< unrepaired dead rows
+    std::size_t repairedRows = 0; //!< dead rows remapped to spares
+};
+
+/**
+ * Rebuild @p clean with the injector's plan for @p array_id applied:
+ * stuck bits forced into the FP4 codes, unrepaired dead rows masked.
+ * @param stats optional accumulation of plan totals
+ */
+Linear applyToLinear(const FaultInjector &injector, const Linear &clean,
+                     std::string_view array_id,
+                     ModelFaultStats *stats = nullptr);
+
+/**
+ * The faulty twin of @p clean under @p injector.  Array identities are
+ * "block<l>.wq|wk|wv|wo", "block<l>.router",
+ * "block<l>.expert<e>.up|gate|down" and "unembedding", so a plan for a
+ * given projection is independent of model size elsewhere.  A disabled
+ * injector returns an unmodified copy.
+ * @param stats optional accumulation of per-array plan totals
+ */
+ModelWeights applyToModel(const ModelWeights &clean,
+                          const TransformerConfig &cfg,
+                          const FaultInjector &injector,
+                          ModelFaultStats *stats = nullptr);
+
+} // namespace hnlpu
+
+#endif // HNLPU_FAULT_MODEL_FAULTS_HH

@@ -1,0 +1,38 @@
+#include "fault/repair.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "fault/fault_plan.hh"
+
+namespace hnlpu {
+
+std::size_t
+applySpareRepair(ArrayFaultPlan &plan, std::size_t spare_rows)
+{
+    const std::size_t repaired =
+        std::min(spare_rows, plan.deadRows.size());
+    if (repaired == 0)
+        return 0;
+
+    plan.repairedRows.assign(plan.deadRows.begin(),
+                             plan.deadRows.begin() + repaired);
+    plan.deadRows.erase(plan.deadRows.begin(),
+                        plan.deadRows.begin() + repaired);
+
+    // The spare's metal is embedded fresh and scan-verified, so any
+    // stuck bits the original row carried do not follow it.
+    std::erase_if(plan.stuckBits, [&](const StuckBitFault &f) {
+        return std::binary_search(plan.repairedRows.begin(),
+                                  plan.repairedRows.end(), f.row);
+    });
+
+    for (std::uint32_t row : plan.repairedRows) {
+        hnlpu_warn_ratelimited("fault: array ", plan.arrayId,
+                               " dead row ", row,
+                               " remapped to spare neuron");
+    }
+    return repaired;
+}
+
+} // namespace hnlpu

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Spare-neuron repair for Metal-Embedding HN arrays.
+ *
+ * The sea-of-neurons base array is parameter independent: every neuron
+ * is an identical POPCNT/multiplier/adder-tree tile until metalization
+ * assigns it a weight vector.  A die therefore carries a few spare rows
+ * per array; when wafer test finds a dead row, the row's weight vector
+ * is embedded onto a spare instead and the output mux selects the spare
+ * -- the repaired row behaves exactly like a healthy one.
+ *
+ * Repair happens at plan level: a repaired row is removed from the
+ * plan's deadRows (and its stuck bits are dropped, since the spare's
+ * metal is written fresh and verified by scan), and recorded in
+ * repairedRows so yield/economics models can count consumed spares.
+ */
+
+#ifndef HNLPU_FAULT_REPAIR_HH
+#define HNLPU_FAULT_REPAIR_HH
+
+#include <cstddef>
+
+namespace hnlpu {
+
+struct ArrayFaultPlan;
+
+/**
+ * Remap up to @p spare_rows dead rows of @p plan onto spares, lowest
+ * row index first.  Repaired rows move from plan.deadRows to
+ * plan.repairedRows and lose their stuck-bit faults.
+ * @return number of rows repaired
+ */
+std::size_t applySpareRepair(ArrayFaultPlan &plan,
+                             std::size_t spare_rows);
+
+} // namespace hnlpu
+
+#endif // HNLPU_FAULT_REPAIR_HH

@@ -10,7 +10,8 @@ namespace hnlpu {
 
 HnArray::HnArray(const SeaOfNeuronsTemplate &tmpl,
                  const std::vector<Fp4> &weights_row_major,
-                 std::size_t rows, std::size_t cols)
+                 std::size_t rows, std::size_t cols,
+                 const std::vector<std::uint32_t> &dead_rows)
     : cols_(cols)
 {
     hnlpu_assert(weights_row_major.size() == rows * cols,
@@ -19,6 +20,17 @@ HnArray::HnArray(const SeaOfNeuronsTemplate &tmpl,
     hnlpu_assert(tmpl.inputCount == cols,
                  "template fan-in ", tmpl.inputCount,
                  " != matrix cols ", cols);
+    if (!dead_rows.empty()) {
+        dead_.assign(rows, 0);
+        for (std::size_t i = 0; i < dead_rows.size(); ++i) {
+            hnlpu_assert(dead_rows[i] < rows, "dead row ", dead_rows[i],
+                         " out of range (", rows, " rows)");
+            hnlpu_assert(i == 0 || dead_rows[i - 1] < dead_rows[i],
+                         "dead rows must be sorted and unique");
+            dead_[dead_rows[i]] = 1;
+        }
+        deadRowCount_ = dead_rows.size();
+    }
 
     neurons_.reserve(rows);
     for (std::size_t r = 0; r < rows; ++r) {
@@ -52,9 +64,14 @@ HnArray::gemvSerial(const std::vector<std::int64_t> &activations,
                 [&](std::size_t begin, std::size_t end) {
         HnActivity local;
         HnActivity *local_ptr = activity ? &local : nullptr;
-        for (std::size_t r = begin; r < end; ++r)
-            out[r] = neurons_[r].computeSerial(activations, width,
-                                               local_ptr);
+        for (std::size_t r = begin; r < end; ++r) {
+            // A dead neuron drives 0 and toggles nothing; the mask is
+            // per-row state, so the parallel result stays bit-exact.
+            out[r] = rowDead(r)
+                         ? 0
+                         : neurons_[r].computeSerial(activations, width,
+                                                     local_ptr);
+        }
         if (activity) {
             std::lock_guard<std::mutex> lock(activity_mutex);
             activity->add(local);
@@ -67,9 +84,17 @@ std::vector<std::int64_t>
 HnArray::gemvReference(const std::vector<std::int64_t> &activations) const
 {
     std::vector<std::int64_t> out(neurons_.size());
-    for (std::size_t r = 0; r < neurons_.size(); ++r)
-        out[r] = neurons_[r].computeReference(activations);
+    for (std::size_t r = 0; r < neurons_.size(); ++r) {
+        out[r] = rowDead(r) ? 0
+                            : neurons_[r].computeReference(activations);
+    }
     return out;
+}
+
+bool
+HnArray::rowDead(std::size_t row) const
+{
+    return !dead_.empty() && dead_[row] != 0;
 }
 
 std::vector<double>
@@ -101,6 +126,7 @@ HnArray::stats() const
     s.rows = neurons_.size();
     s.cols = cols_;
     s.zeroWeights = zeroWeights_;
+    s.deadRows = deadRowCount_;
     for (const auto &neuron : neurons_) {
         s.totalWires += neuron.topology().wireCount();
         s.groundedPorts += neuron.topology().groundedPorts();

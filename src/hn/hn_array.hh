@@ -37,6 +37,7 @@ struct HnArrayStats
     std::size_t totalWires = 0;     //!< metal embedding wires
     std::size_t groundedPorts = 0;  //!< slack ports tied to ground
     std::size_t zeroWeights = 0;    //!< weights requiring no wire
+    std::size_t deadRows = 0;       //!< defective, unrepaired neurons
 };
 
 /** A programmed matrix of Hardwired-Neurons. */
@@ -47,13 +48,22 @@ class HnArray
      * Program a weight matrix (row-major, rows x cols) onto a shared
      * template.  Fatal on capacity overflow: the caller controls slack
      * via the template and should size it for the weight distribution.
+     *
+     * @param dead_rows rows whose neuron is defective and was not
+     *        remapped to a spare (src/fault); their output is stuck at
+     *        0 and they consume no switching activity.  Must be sorted,
+     *        unique and in range.
      */
     HnArray(const SeaOfNeuronsTemplate &tmpl,
             const std::vector<Fp4> &weights_row_major, std::size_t rows,
-            std::size_t cols);
+            std::size_t cols,
+            const std::vector<std::uint32_t> &dead_rows = {});
 
     std::size_t rows() const { return neurons_.size(); }
     std::size_t cols() const { return cols_; }
+
+    /** True when @p row is a dead (unrepaired) neuron. */
+    bool rowDead(std::size_t row) const;
 
     /**
      * Bit-serial integer GEMV: out_j = sum_i (2*W_ji) * x_i.
@@ -86,7 +96,10 @@ class HnArray
   private:
     std::size_t cols_ = 0;
     std::size_t zeroWeights_ = 0;
+    std::size_t deadRowCount_ = 0;
     std::vector<HardwiredNeuron> neurons_;
+    /** Per-row dead mask; empty when no row is dead. */
+    std::vector<std::uint8_t> dead_;
 };
 
 /**

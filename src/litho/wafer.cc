@@ -7,7 +7,21 @@
 
 namespace hnlpu {
 
-WaferModel::WaferModel(TechnologyParams tech) : tech_(tech) {}
+void
+SpareRepairParams::validate() const
+{
+    if (repairableFraction < 0.0 || repairableFraction > 1.0) {
+        hnlpu_fatal("SpareRepairParams::repairableFraction must be in "
+                    "[0,1], got ", repairableFraction);
+    }
+}
+
+WaferModel::WaferModel(TechnologyParams tech) : tech_(tech)
+{
+    hnlpu_assert(tech_.defectDensityPerCm2 >= 0,
+                 "defect density must be non-negative, got ",
+                 tech_.defectDensityPerCm2);
+}
 
 double
 WaferModel::grossDiesPerWafer(AreaMm2 die_area) const
@@ -21,23 +35,80 @@ WaferModel::grossDiesPerWafer(AreaMm2 die_area) const
            std::numbers::pi * d / std::sqrt(2.0 * die_area);
 }
 
+namespace {
+
+/** Murphy factor ((1 - e^{-AD}) / AD)^2 for AD >= 0. */
 double
-WaferModel::murphyYield(AreaMm2 die_area) const
+murphyFactor(double ad)
 {
-    // Murphy's model: Y = ((1 - e^{-AD}) / (AD))^2 with A in cm^2.
-    const double ad = (die_area / 100.0) * tech_.defectDensityPerCm2;
     if (ad <= 0)
         return 1.0;
     const double factor = (1.0 - std::exp(-ad)) / ad;
     return factor * factor;
 }
 
+/** P[Poisson(mean) <= k], summed directly (k is small). */
+double
+poissonCdf(std::size_t k, double mean)
+{
+    if (mean <= 0)
+        return 1.0;
+    double term = std::exp(-mean);
+    double sum = term;
+    for (std::size_t i = 1; i <= k; ++i) {
+        term *= mean / double(i);
+        sum += term;
+    }
+    return sum < 1.0 ? sum : 1.0;
+}
+
+} // namespace
+
+double
+WaferModel::murphyYield(AreaMm2 die_area) const
+{
+    hnlpu_assert(die_area >= 0, "die area must be non-negative, got ",
+                 die_area);
+    // Murphy's model: Y = ((1 - e^{-AD}) / (AD))^2 with A in cm^2.
+    // AD = 0 (zero area or zero defect density) is the ideal limit and
+    // clamps to yield 1.
+    const double ad = (die_area / 100.0) * tech_.defectDensityPerCm2;
+    return murphyFactor(ad);
+}
+
+double
+WaferModel::effectiveYield(AreaMm2 die_area,
+                           const SpareRepairParams &repair) const
+{
+    repair.validate();
+    if (!repair.enabled())
+        return murphyYield(die_area);
+    hnlpu_assert(die_area >= 0, "die area must be non-negative, got ",
+                 die_area);
+    const double ad = (die_area / 100.0) * tech_.defectDensityPerCm2;
+    // Split the defect density: the repairable share only kills the die
+    // once it exceeds the spare budget (Poisson count of hits), the
+    // rest clusters like any other defect (Murphy).
+    const double fatal_ad = ad * (1.0 - repair.repairableFraction);
+    const double repairable_ad = ad * repair.repairableFraction;
+    const double y = murphyFactor(fatal_ad) *
+                     poissonCdf(repair.spareRows, repairable_ad);
+    return y < 1.0 ? y : 1.0;
+}
+
 WaferEconomics
 WaferModel::economics(AreaMm2 die_area) const
 {
+    return economics(die_area, SpareRepairParams{});
+}
+
+WaferEconomics
+WaferModel::economics(AreaMm2 die_area,
+                      const SpareRepairParams &repair) const
+{
     WaferEconomics e;
     e.grossDiesPerWafer = std::floor(grossDiesPerWafer(die_area));
-    e.yield = murphyYield(die_area);
+    e.yield = effectiveYield(die_area, repair);
     e.goodDiesPerWafer = std::round(e.grossDiesPerWafer * e.yield);
     hnlpu_assert(e.goodDiesPerWafer >= 1.0,
                  "no good dies at this size/defect density");

@@ -7,9 +7,35 @@
 #ifndef HNLPU_LITHO_WAFER_HH
 #define HNLPU_LITHO_WAFER_HH
 
+#include <cstddef>
+
 #include "phys/technology.hh"
 
 namespace hnlpu {
+
+/**
+ * Spare-neuron repair knobs for repair-aware yield (src/fault).
+ *
+ * A fraction of the die's defects land in HN-array rows that spare
+ * neurons can absorb: the die is still good as long as no more than
+ * spareRows such defects hit it.  The remaining (1 - repairableFraction)
+ * of the defect density stays fatal and follows plain Murphy.
+ */
+struct SpareRepairParams
+{
+    /** Spare neuron rows available per die. */
+    std::size_t spareRows = 0;
+    /** Fraction of defects that land in repairable HN-array rows. */
+    double repairableFraction = 0.0;
+
+    bool enabled() const
+    {
+        return spareRows > 0 && repairableFraction > 0.0;
+    }
+
+    /** Fatal on a fraction outside [0, 1]. */
+    void validate() const;
+};
 
 /** Per-die manufacturing figures for one die size on one technology. */
 struct WaferEconomics
@@ -32,8 +58,22 @@ class WaferModel
     /** Murphy yield for @p die_area at the node's defect density. */
     double murphyYield(AreaMm2 die_area) const;
 
+    /**
+     * Repair-aware effective yield: Murphy over the non-repairable
+     * defect share times the Poisson probability that at most
+     * repair.spareRows repairable defects hit the die.  Reduces to
+     * murphyYield() when repair is disabled and is monotonically
+     * non-decreasing in repair.spareRows.
+     */
+    double effectiveYield(AreaMm2 die_area,
+                          const SpareRepairParams &repair) const;
+
     /** Full economics for @p die_area. */
     WaferEconomics economics(AreaMm2 die_area) const;
+
+    /** Economics with spare-neuron repair folded into yield. */
+    WaferEconomics economics(AreaMm2 die_area,
+                             const SpareRepairParams &repair) const;
 
     /** Maximum die area a single reticle can expose (26 x 33 mm). */
     static constexpr AreaMm2 kReticleLimit = 858.0;

@@ -8,6 +8,23 @@ namespace hnlpu {
 
 namespace {
 
+/**
+ * Degraded-mode membership: dead chips silently drop out of every
+ * collective (their partials are lost work the dataflow layer has
+ * already re-sharded away; the wire pattern simply skips them).
+ */
+std::vector<ChipId>
+liveMembers(const Fabric &fabric, const std::vector<ChipId> &group)
+{
+    std::vector<ChipId> live;
+    live.reserve(group.size());
+    for (ChipId chip : group) {
+        if (fabric.chipAlive(chip))
+            live.push_back(chip);
+    }
+    return live;
+}
+
 void
 checkGroup(const Fabric &fabric, const std::vector<ChipId> &group)
 {
@@ -33,8 +50,10 @@ timedBroadcast(Fabric &fabric, ChipId root,
                Tick ready)
 {
     checkGroup(fabric, group);
+    hnlpu_assert(fabric.chipAlive(root), "broadcast root ", root,
+                 " is dead");
     Tick done = ready;
-    for (ChipId dst : group) {
+    for (ChipId dst : liveMembers(fabric, group)) {
         if (dst == root)
             continue;
         done = std::max(done, fabric.send(root, dst, payload, ready));
@@ -47,8 +66,10 @@ timedReduce(Fabric &fabric, const std::vector<ChipId> &group, ChipId root,
             Bytes payload, Tick ready)
 {
     checkGroup(fabric, group);
+    hnlpu_assert(fabric.chipAlive(root), "reduce root ", root,
+                 " is dead");
     Tick done = ready;
-    for (ChipId src : group) {
+    for (ChipId src : liveMembers(fabric, group)) {
         if (src == root)
             continue;
         done = std::max(done, fabric.send(src, root, payload, ready));
@@ -61,9 +82,10 @@ timedAllReduce(Fabric &fabric, const std::vector<ChipId> &group,
                Bytes payload, Tick ready)
 {
     checkGroup(fabric, group);
+    const std::vector<ChipId> live = liveMembers(fabric, group);
     Tick done = ready;
-    for (ChipId src : group) {
-        for (ChipId dst : group) {
+    for (ChipId src : live) {
+        for (ChipId dst : live) {
             if (src != dst) {
                 done = std::max(done,
                                 fabric.send(src, dst, payload, ready));
@@ -102,14 +124,39 @@ timedGridAllReduce(Fabric &fabric, Bytes payload, Tick ready)
         row_done = std::max(row_done, timedAllReduce(fabric, row_group,
                                                      payload, ready));
     }
-    // Phase 2: all-reduce within every column.
+    // Recovery hop: a dead chip was the sole carrier of its row's
+    // phase-1 sum into its column.  A live donor from the dead chip's
+    // row forwards that sum to every live member of the column (two
+    // hops: donor and column member share neither row nor column).
     Tick done = row_done;
+    for (ChipId dead = 0; dead < fabric.chipCount(); ++dead) {
+        if (fabric.chipAlive(dead))
+            continue;
+        ChipId donor = fabric.chipCount();
+        for (ChipId peer : fabric.rowPeers(dead)) {
+            if (fabric.chipAlive(peer)) {
+                donor = peer;
+                break;
+            }
+        }
+        hnlpu_assert(donor < fabric.chipCount(), "row ",
+                     fabric.rowOf(dead),
+                     " fully dead: grid all-reduce cannot recover");
+        for (ChipId member : fabric.colPeers(dead)) {
+            if (!fabric.chipAlive(member))
+                continue;
+            done = std::max(done, fabric.sendRouted(donor, member,
+                                                    payload, row_done));
+        }
+    }
+    const Tick recovery_done = done;
+    // Phase 2: all-reduce within every column.
     for (std::size_t c = 0; c < fabric.cols(); ++c) {
         std::vector<ChipId> col_group;
         for (std::size_t r = 0; r < fabric.rows(); ++r)
             col_group.push_back(fabric.chipAt(r, c));
         done = std::max(done, timedAllReduce(fabric, col_group, payload,
-                                             row_done));
+                                             recovery_done));
     }
     return done;
 }

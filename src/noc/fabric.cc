@@ -7,7 +7,10 @@ namespace hnlpu {
 Fabric::Fabric(std::size_t rows, std::size_t cols, CxlLinkParams params)
     : rows_(rows), cols_(cols), params_(params)
 {
-    hnlpu_assert(rows_ >= 1 && cols_ >= 1, "empty fabric");
+    if (rows_ < 1 || cols_ < 1)
+        hnlpu_fatal("fabric grid must be at least 1x1, got ", rows_,
+                    "x", cols_);
+    params_.validate();
     // Allocate a dense (src, dst) table; unconnected pairs stay unused.
     links_.reserve(chipCount() * chipCount());
     for (ChipId src = 0; src < chipCount(); ++src) {
@@ -16,6 +19,7 @@ Fabric::Fabric(std::size_t rows, std::size_t cols, CxlLinkParams params)
                                 std::to_string(dst));
         }
     }
+    alive_.assign(chipCount(), 1);
 }
 
 ChipId
@@ -72,13 +76,130 @@ Fabric::link(ChipId src, ChipId dst)
     return links_[linkIndex(src, dst)];
 }
 
+void
+Fabric::setLinkFaults(const LinkFaultParams &faults)
+{
+    faults.validate();
+    faults_ = faults;
+    linkRngs_.clear();
+    if (faults_.enabled()) {
+        linkRngs_.reserve(links_.size());
+        for (std::size_t i = 0; i < links_.size(); ++i) {
+            linkRngs_.emplace_back(faults_.seed ^
+                                   (0x9e3779b97f4a7c15ULL * (i + 1)));
+        }
+    }
+}
+
+void
+Fabric::markChipDead(ChipId chip)
+{
+    hnlpu_assert(chip < chipCount(), "chip id out of range");
+    if (alive_[chip]) {
+        alive_[chip] = 0;
+        hnlpu_warn_ratelimited("fabric: chip ", chip, " at (",
+                               rowOf(chip), ",", colOf(chip),
+                               ") marked dead; routing around it");
+    }
+}
+
+bool
+Fabric::chipAlive(ChipId chip) const
+{
+    hnlpu_assert(chip < chipCount(), "chip id out of range");
+    return alive_[chip] != 0;
+}
+
+std::vector<ChipId>
+Fabric::liveChips() const
+{
+    std::vector<ChipId> live;
+    for (ChipId chip = 0; chip < chipCount(); ++chip) {
+        if (alive_[chip])
+            live.push_back(chip);
+    }
+    return live;
+}
+
+bool
+Fabric::usable(ChipId src, ChipId dst) const
+{
+    return connected(src, dst) && chipAlive(src) && chipAlive(dst);
+}
+
 Tick
 Fabric::send(ChipId src, ChipId dst, Bytes payload, Tick ready)
 {
-    TimelineResource &l = link(src, dst);
+    hnlpu_assert(chipAlive(src) && chipAlive(dst),
+                 "send touches dead chip ", src, "->", dst);
+    const std::size_t index = linkIndex(src, dst);
+    TimelineResource &l = links_[index];
     const Tick serialization = params_.serializationTicks(payload);
-    const Tick start = l.acquire(ready, serialization);
-    return start + serialization + params_.latencyTicks();
+
+    if (!faults_.enabled()) {
+        const Tick start = l.acquire(ready, serialization);
+        return start + serialization + params_.latencyTicks();
+    }
+
+    // CRC-retry loop: every attempt occupies the wire for the full
+    // serialisation time; failed attempts add an exponentially growing
+    // backoff before re-acquiring the link.
+    Rng &rng = linkRngs_[index];
+    Seconds backoff = faults_.initialBackoff;
+    Tick at = ready;
+    for (unsigned attempt = 0; attempt <= faults_.maxRetries;
+         ++attempt) {
+        const Tick start = l.acquire(at, serialization);
+        const Tick end = start + serialization;
+        if (rng.uniform01() >= faults_.retryProbability)
+            return end + params_.latencyTicks();
+        ++retries_;
+        at = end + toTicks(backoff);
+        backoff = backoff * faults_.backoffMultiplier;
+    }
+    // Retry budget exhausted: the management layer re-issues the
+    // message once at a fixed penalty (modelled as guaranteed receipt;
+    // a point-to-point CXL link has no alternate path).
+    ++timeouts_;
+    hnlpu_warn_ratelimited("fabric: link ", src, "->", dst,
+                           " exhausted ", faults_.maxRetries,
+                           " CRC retries; management-layer timeout");
+    const Tick start = l.acquire(at, serialization);
+    return start + serialization + params_.latencyTicks() +
+           toTicks(faults_.timeoutPenalty);
+}
+
+Tick
+Fabric::sendRouted(ChipId src, ChipId dst, Bytes payload, Tick ready)
+{
+    hnlpu_assert(src != dst, "routed send to self");
+    hnlpu_assert(chipAlive(src) && chipAlive(dst),
+                 "routed send touches dead chip ", src, "->", dst);
+    if (usable(src, dst))
+        return send(src, dst, payload, ready);
+
+    // Two-hop store-and-forward.  Prefer the two grid corners (they
+    // are the only intermediates for a cross pair); fall back to any
+    // live chip linking to both endpoints.
+    std::vector<ChipId> candidates{
+        chipAt(rowOf(src), colOf(dst)),
+        chipAt(rowOf(dst), colOf(src)),
+    };
+    for (ChipId mid : rowPeers(src))
+        candidates.push_back(mid);
+    for (ChipId mid : colPeers(src))
+        candidates.push_back(mid);
+    for (ChipId mid : candidates) {
+        if (mid == src || mid == dst || !chipAlive(mid))
+            continue;
+        if (!connected(src, mid) || !connected(mid, dst))
+            continue;
+        ++rerouted_;
+        const Tick relayed = send(src, mid, payload, ready);
+        return send(mid, dst, payload, relayed);
+    }
+    hnlpu_fatal("no live route ", src, "->", dst,
+                " (too many dead chips)");
 }
 
 Tick
@@ -104,6 +225,11 @@ Fabric::reset()
 {
     for (auto &l : links_)
         l.reset();
+    // Re-seed the retry streams so a reset run replays identically.
+    setLinkFaults(faults_);
+    retries_ = 0;
+    timeouts_ = 0;
+    rerouted_ = 0;
 }
 
 } // namespace hnlpu

@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "common/rng.hh"
 #include "noc/link.hh"
 #include "sim/resource.hh"
 
@@ -41,6 +42,25 @@ class Fabric
     /** True when a dedicated link src->dst exists. */
     bool connected(ChipId src, ChipId dst) const;
 
+    /**
+     * Enable the CRC-retry fault model on every link.  Each directed
+     * link owns its own deterministic retry stream (derived from
+     * faults.seed and the link index), so timings are reproducible
+     * regardless of send interleaving across links.
+     */
+    void setLinkFaults(const LinkFaultParams &faults);
+    const LinkFaultParams &linkFaults() const { return faults_; }
+
+    /** Take @p chip out of service (fails wafer/system test). */
+    void markChipDead(ChipId chip);
+    /** True while @p chip is in service. */
+    bool chipAlive(ChipId chip) const;
+    /** Live chips in grid order. */
+    std::vector<ChipId> liveChips() const;
+
+    /** True when src->dst is connected and both endpoints are alive. */
+    bool usable(ChipId src, ChipId dst) const;
+
     /** Chips in the same row as @p chip, excluding it. */
     std::vector<ChipId> rowPeers(ChipId chip) const;
     /** Chips in the same column as @p chip, excluding it. */
@@ -57,6 +77,22 @@ class Fabric
      */
     Tick send(ChipId src, ChipId dst, Bytes payload, Tick ready);
 
+    /**
+     * Send with graceful degradation: direct when src->dst is usable,
+     * otherwise store-and-forward over one live intermediate that links
+     * to both endpoints (two hops around the dead peer's row/column).
+     * Fatal when no route exists (both endpoints must be alive).
+     * @return receive-complete tick
+     */
+    Tick sendRouted(ChipId src, ChipId dst, Bytes payload, Tick ready);
+
+    /** CRC retransmissions performed across all links. */
+    std::uint64_t totalRetries() const { return retries_; }
+    /** Messages that exhausted their retry budget. */
+    std::uint64_t retryTimeouts() const { return timeouts_; }
+    /** Messages that took a two-hop route around a dead chip. */
+    std::uint64_t reroutedMessages() const { return rerouted_; }
+
     /** Links per chip (row peers + column peers). */
     std::size_t linksPerChip() const { return rows_ - 1 + cols_ - 1; }
 
@@ -66,7 +102,10 @@ class Fabric
     /** Total messages sent. */
     std::uint64_t totalMessages() const;
 
-    /** Clear all link timelines. */
+    /**
+     * Clear all link timelines, retry streams and fault counters.
+     * Dead chips stay dead: hardware does not resurrect between runs.
+     */
     void reset();
 
   private:
@@ -76,6 +115,13 @@ class Fabric
     std::size_t cols_;
     CxlLinkParams params_;
     std::vector<TimelineResource> links_;
+
+    LinkFaultParams faults_;
+    std::vector<Rng> linkRngs_;      //!< one retry stream per link
+    std::vector<std::uint8_t> alive_;
+    std::uint64_t retries_ = 0;
+    std::uint64_t timeouts_ = 0;
+    std::uint64_t rerouted_ = 0;
 };
 
 } // namespace hnlpu

@@ -25,4 +25,35 @@ CxlLinkParams::latencyTicks() const
     return toTicks(latency);
 }
 
+void
+CxlLinkParams::validate() const
+{
+    if (bandwidth <= 0)
+        hnlpu_fatal("CxlLinkParams::bandwidth must be positive, got ",
+                    bandwidth);
+    if (efficiency <= 0 || efficiency > 1.0)
+        hnlpu_fatal("CxlLinkParams::efficiency must be in (0,1], got ",
+                    efficiency);
+    if (latency < 0)
+        hnlpu_fatal("CxlLinkParams::latency must be non-negative, got ",
+                    latency);
+    if (perMessageOverhead < 0)
+        hnlpu_fatal("CxlLinkParams::perMessageOverhead must be "
+                    "non-negative, got ", perMessageOverhead);
+}
+
+void
+LinkFaultParams::validate() const
+{
+    if (retryProbability < 0 || retryProbability >= 1.0)
+        hnlpu_fatal("LinkFaultParams::retryProbability must be in "
+                    "[0,1), got ", retryProbability);
+    if (backoffMultiplier < 1.0)
+        hnlpu_fatal("LinkFaultParams::backoffMultiplier must be >= 1, "
+                    "got ", backoffMultiplier);
+    if (initialBackoff < 0 || timeoutPenalty < 0)
+        hnlpu_fatal("LinkFaultParams backoff/penalty must be "
+                    "non-negative");
+}
+
 } // namespace hnlpu

@@ -13,6 +13,8 @@
 #ifndef HNLPU_NOC_LINK_HH
 #define HNLPU_NOC_LINK_HH
 
+#include <cstdint>
+
 #include "common/units.hh"
 
 namespace hnlpu {
@@ -35,6 +37,40 @@ struct CxlLinkParams
     Tick messageTicks(Bytes payload) const;
     /** Propagation latency in ticks. */
     Tick latencyTicks() const;
+
+    /** Fatal on non-physical parameters (zero/negative bandwidth or
+     *  efficiency, efficiency above 1, negative latency/overhead). */
+    void validate() const;
+};
+
+/**
+ * CRC-retry fault model of a lossy CXL link.
+ *
+ * A flit that fails CRC is retransmitted after an exponentially backed
+ * off interval; a message that exhausts maxRetries is declared timed out
+ * and escalated to the management layer, which re-issues it once more at
+ * a fixed penalty (the paper's CXL links are point-to-point, so there is
+ * no alternate path for a purely link-level failure).
+ */
+struct LinkFaultParams
+{
+    /** Seed for the per-link retry streams. */
+    std::uint64_t seed = 0;
+    /** Probability one transmission attempt fails CRC. */
+    double retryProbability = 0.0;
+    /** Retransmissions allowed after the first attempt. */
+    unsigned maxRetries = 8;
+    /** Backoff growth per retry. */
+    double backoffMultiplier = 2.0;
+    /** Backoff before the first retransmission. */
+    Seconds initialBackoff = 50e-9;
+    /** Management-layer penalty once retries are exhausted. */
+    Seconds timeoutPenalty = 10e-6;
+
+    bool enabled() const { return retryProbability > 0.0; }
+
+    /** Fatal on probability outside [0,1) or non-positive knobs. */
+    void validate() const;
 };
 
 } // namespace hnlpu

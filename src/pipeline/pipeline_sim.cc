@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "model/model_zoo.hh"
 #include "sim/event_queue.hh"
 
@@ -56,6 +57,8 @@ struct Op
     /** Stage this op belongs to; tokens hold a stage until the
      *  successor stage is free (blocking pipeline, Fig. 11). */
     std::size_t stage = 0;
+    /** Link hops (2 for store-and-forward around a dead chip). */
+    std::size_t hops = 1;
 };
 
 } // namespace
@@ -64,7 +67,23 @@ PipelineSim::PipelineSim(PipelineConfig config)
     : config_(std::move(config))
 {
     config_.partition.validate();
+    config_.link.validate();
     hnlpu_assert(config_.measuredTokens > 0, "nothing to measure");
+
+    const auto &flt = config_.faults;
+    if (flt.linkRetryProbability < 0 || flt.linkRetryProbability >= 1.0)
+        hnlpu_fatal("linkRetryProbability must be in [0,1), got ",
+                    flt.linkRetryProbability);
+    const std::size_t chips =
+        config_.partition.gridRows * config_.partition.gridCols;
+    for (std::size_t id : flt.deadChips) {
+        if (id >= chips)
+            hnlpu_fatal("dead chip ", id, " out of range (", chips,
+                        " chips)");
+        // The simulator is chip-representative; the observer must live.
+        if (id == 0)
+            hnlpu_fatal("representative chip 0 cannot be dead");
+    }
 }
 
 PipelineResult
@@ -78,10 +97,36 @@ PipelineSim::run()
     const KvPlacement placement =
         kv.place(cfg.contextLength, cfg.kvSequences);
 
+    // -- degraded-mode bookkeeping -------------------------------------------
+    // Dead chips leave the representative chip's link classes: a dead
+    // column peer removes one column link, a dead row peer one row
+    // link; dead chips elsewhere keep our links but force two-hop
+    // recovery traffic on every grid-wide all-reduce.
+    std::vector<std::size_t> dead = cfg.faults.deadChips;
+    std::sort(dead.begin(), dead.end());
+    dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+    std::size_t dead_col_peers = 0, dead_row_peers = 0;
+    for (std::size_t id : dead) {
+        const std::size_t r = id / part.gridCols;
+        const std::size_t c = id % part.gridCols;
+        hnlpu_warn_ratelimited("pipeline: chip ", id, " at (", r, ",",
+                               c, ") is dead; degraded schedule");
+        if (c == 0)
+            ++dead_col_peers;
+        else if (r == 0)
+            ++dead_row_peers;
+    }
+    hnlpu_assert(dead_col_peers < part.gridRows - 1 ||
+                     part.gridRows == 1,
+                 "all column peers dead: column collectives impossible");
+    hnlpu_assert(dead_row_peers < part.gridCols - 1 ||
+                     part.gridCols == 1,
+                 "all row peers dead: row collectives impossible");
+
     // -- resource tables ----------------------------------------------------
     // Links: [0, n_col) column links, then [n_col, n_col+n_row) row.
-    const std::size_t n_col = part.gridRows - 1;
-    const std::size_t n_row = part.gridCols - 1;
+    const std::size_t n_col = part.gridRows - 1 - dead_col_peers;
+    const std::size_t n_row = part.gridCols - 1 - dead_row_peers;
     std::vector<TimelineResource> links;
     std::vector<std::size_t> col_ids, row_ids;
     for (std::size_t i = 0; i < n_col; ++i) {
@@ -195,6 +240,28 @@ PipelineSim::run()
         op.stage = current_stage;
         schedule.push_back(op);
     };
+    // Two-hop recovery for a grid all-reduce: every dead chip was the
+    // sole carrier of its row's phase-1 sum into its column, so a live
+    // donor re-delivers it through a corner chip (two serialisations,
+    // two latencies, on one of our surviving links).
+    auto recovery_ops = [&](Bytes bytes) {
+        if (dead.empty())
+            return;
+        const std::vector<std::size_t> &carrier =
+            !row_ids.empty() ? row_ids : col_ids;
+        if (carrier.empty())
+            return;
+        for (std::size_t i = 0; i < dead.size(); ++i) {
+            Op op;
+            op.type = Op::Type::SingleSend;
+            op.links = carrier;
+            op.dur = 2 * cfg.link.serializationTicks(bytes);
+            op.hops = 2;
+            op.cls = TimeClass::Comm;
+            op.stage = current_stage;
+            schedule.push_back(op);
+        }
+    };
 
     for (std::size_t layer = 0; layer < layers; ++layer) {
         // Stage 1: QKV projection + column reductions.
@@ -230,6 +297,7 @@ PipelineSim::run()
         unit_op(u_sfu[layer], t_nl / 4, TimeClass::Nonlinear);
         coll_op(row_ids, b_xo);
         coll_op(col_ids, b_xo);
+        recovery_ops(b_xo);
         ++current_stage;
 
         // Stage 4: RMSNorm + router + top-k.
@@ -246,11 +314,13 @@ PipelineSim::run()
         unit_op(u_down[layer], t_down, TimeClass::Projection);
         coll_op(row_ids, b_moe);
         coll_op(col_ids, b_moe);
+        recovery_ops(b_moe);
         ++current_stage;
     }
     unit_op(u_unembed, t_unembed, TimeClass::Projection);
     coll_op(row_ids, b_logits);
     coll_op(col_ids, b_logits);
+    recovery_ops(b_logits);
     unit_op(u_sample, t_nl / 4, TimeClass::Nonlinear);
     ++current_stage;
 
@@ -281,6 +351,44 @@ PipelineSim::run()
 
     EventQueue eq;
     std::function<void(std::size_t)> advance;
+
+    // CRC-retry model: one deterministic stream drawn in event order
+    // (the event queue is deterministic, so runs replay identically).
+    const auto &flt = cfg.faults;
+    const bool lossy = flt.linkRetryProbability > 0.0;
+    Rng retry_rng(flt.seed ^ 0x9e3779b97f4a7c15ULL);
+    std::uint64_t link_retries = 0;
+    std::uint64_t retry_timeouts = 0;
+    std::uint64_t rerouted_transfers = 0;
+
+    // Occupy one link for `dur`, retrying on CRC failure; returns the
+    // serialisation-complete tick (latency added by the caller).
+    auto occupy_link = [&](TimelineResource &l, Tick ready,
+                           Tick dur) -> Tick {
+        if (!lossy) {
+            const Tick start = l.acquire(ready, dur);
+            return start + dur;
+        }
+        Seconds backoff = flt.retryBackoff;
+        Tick at = ready;
+        for (unsigned attempt = 0; attempt <= flt.maxRetries;
+             ++attempt) {
+            const Tick start = l.acquire(at, dur);
+            const Tick end = start + dur;
+            if (retry_rng.uniform01() >= flt.linkRetryProbability)
+                return end;
+            ++link_retries;
+            at = end + toTicks(backoff);
+            backoff = backoff * 2.0;
+        }
+        ++retry_timeouts;
+        hnlpu_warn_ratelimited("pipeline: link ", l.name(),
+                               " exhausted ", flt.maxRetries,
+                               " CRC retries; management-layer "
+                               "timeout");
+        const Tick start = l.acquire(at, dur);
+        return start + dur + toTicks(flt.timeoutPenalty);
+    };
 
     // Claim `stage` for `tok`; park (single waiter) when occupied.
     auto try_enter_stage = [&](std::size_t tok, std::size_t stage) {
@@ -345,8 +453,8 @@ PipelineSim::run()
           }
           case Op::Type::Collective: {
             for (std::size_t link : op.links) {
-                const Tick start = links[link].acquire(now, op.dur);
-                done = std::max(done, start + op.dur + latency);
+                const Tick end = occupy_link(links[link], now, op.dur);
+                done = std::max(done, end + latency * op.hops);
             }
             st.bd.add(TimeClass::Comm, done - now);
             break;
@@ -354,9 +462,11 @@ PipelineSim::run()
           case Op::Type::SingleSend: {
             const std::size_t pick =
                 (tok + st.next_op) % op.links.size();
-            const Tick start =
-                links[op.links[pick]].acquire(now, op.dur);
-            done = start + op.dur + latency;
+            const Tick end =
+                occupy_link(links[op.links[pick]], now, op.dur);
+            done = end + latency * op.hops;
+            if (op.hops > 1)
+                ++rerouted_transfers;
             st.bd.add(TimeClass::Comm, done - now);
             break;
           }
@@ -424,6 +534,12 @@ PipelineSim::run()
             result.rowLinkUtilization, links[i].utilization(horizon));
     }
     result.hbmUtilization = units[u_hbm].utilization(horizon);
+
+    result.degraded = flt.anyFaults();
+    result.deadChips = dead.size();
+    result.linkRetries = link_retries;
+    result.retryTimeouts = retry_timeouts;
+    result.reroutedTransfers = rerouted_transfers;
     return result;
 }
 

@@ -29,6 +29,36 @@
 
 namespace hnlpu {
 
+/**
+ * Fault knobs of the pipeline simulator (degraded-mode operation).
+ *
+ * Link faults model CXL CRC retries: every failed transmission re-
+ * occupies the wire after a backoff, and a message that exhausts its
+ * retry budget pays a fixed management-layer penalty.  Dead chips are
+ * routed around: they drop out of collectives and their row-phase
+ * partial sums travel two hops through a live corner chip.  All
+ * randomness is seed-deterministic.
+ */
+struct PipelineFaultConfig
+{
+    std::uint64_t seed = 0;
+    /** Probability one link transmission fails CRC. */
+    double linkRetryProbability = 0.0;
+    /** Retransmissions allowed after the first attempt. */
+    unsigned maxRetries = 8;
+    /** Backoff before the first retransmission (doubles per retry). */
+    Seconds retryBackoff = 50e-9;
+    /** Management-layer penalty once retries are exhausted. */
+    Seconds timeoutPenalty = 10e-6;
+    /** Chips (grid ids) that failed system test; routed around. */
+    std::vector<std::size_t> deadChips;
+
+    bool anyFaults() const
+    {
+        return linkRetryProbability > 0.0 || !deadChips.empty();
+    }
+};
+
 /** Full configuration of one pipeline simulation. */
 struct PipelineConfig
 {
@@ -67,6 +97,10 @@ struct PipelineConfig
 
     std::size_t warmupTokens = 300;
     std::size_t measuredTokens = 1200;
+
+    /** Fault injection; defaults to a clean system (bit-identical
+     *  results to a build without the fault subsystem). */
+    PipelineFaultConfig faults;
 };
 
 /** Per-token execution-time decomposition (paper Fig. 14 classes). */
@@ -101,6 +135,13 @@ struct PipelineResult
     double hbmUtilization = 0;
     double kvOverflowFraction = 0;  //!< from the KV placement
     std::uint64_t simulatedTokens = 0;
+
+    // Degraded-mode accounting (all zero on a clean run).
+    bool degraded = false;          //!< any fault was configured
+    std::size_t deadChips = 0;      //!< chips routed around
+    std::uint64_t linkRetries = 0;  //!< CRC retransmissions
+    std::uint64_t retryTimeouts = 0;//!< messages past the retry budget
+    std::uint64_t reroutedTransfers = 0; //!< two-hop recovery sends
 };
 
 /** The chip-representative pipeline simulator. */

@@ -9,12 +9,19 @@
 namespace hnlpu {
 
 Linear::Linear(std::vector<Fp4> weights, std::size_t out_dim,
-               std::size_t in_dim)
+               std::size_t in_dim, std::vector<std::uint32_t> dead_rows)
     : weights_(std::move(weights)), outDim_(out_dim), inDim_(in_dim),
+      deadRows_(std::move(dead_rows)),
       hardwiredState_(std::make_shared<HardwiredState>())
 {
     hnlpu_assert(weights_.size() == outDim_ * inDim_,
                  "linear weight count mismatch");
+    for (std::size_t i = 0; i < deadRows_.size(); ++i) {
+        hnlpu_assert(deadRows_[i] < outDim_, "dead row ", deadRows_[i],
+                     " out of range (", outDim_, " rows)");
+        hnlpu_assert(i == 0 || deadRows_[i - 1] < deadRows_[i],
+                     "dead rows must be sorted and unique");
+    }
 }
 
 Linear
@@ -52,7 +59,7 @@ Linear::hardwired() const
         tmpl.portsPerSlice = 16;
         tmpl.slackFactor = 4.0;
         state.array = std::make_unique<HnArray>(tmpl, weights_, outDim_,
-                                                inDim_);
+                                                inDim_, deadRows_);
     });
     return *state.array;
 }
@@ -77,6 +84,9 @@ Linear::forward(const Vec &x, ExecPath path, unsigned activation_bits,
             y[r] = acc;
         }
     });
+    // Dead neurons read as exactly 0.0, matching the hardwired mask.
+    for (std::uint32_t r : deadRows_)
+        y[r] = 0.0;
     return y;
 }
 
@@ -99,7 +109,14 @@ Linear::slice(std::size_t row0, std::size_t rows, std::size_t col0,
         const Fp4 *row = weights_.data() + (row0 + r) * inDim_ + col0;
         shard.insert(shard.end(), row, row + cols);
     }
-    return Linear(std::move(shard), rows, cols);
+    // Dead rows inside the slice window carry over (local indices), so
+    // per-chip shards of a faulty projection stay faulty.
+    std::vector<std::uint32_t> dead;
+    for (std::uint32_t r : deadRows_) {
+        if (r >= row0 && r < row0 + rows)
+            dead.push_back(std::uint32_t(r - row0));
+    }
+    return Linear(std::move(shard), rows, cols, std::move(dead));
 }
 
 } // namespace hnlpu

@@ -35,9 +35,17 @@ enum class ExecPath { Reference, Hardwired };
 class Linear
 {
   public:
-    /** Construct from FP4 codes (row-major, out x in). */
+    /**
+     * Construct from FP4 codes (row-major, out x in).
+     *
+     * @param dead_rows output rows whose Hardwired-Neuron is defective
+     *        and unrepaired (src/fault); they read as exactly 0.0 on
+     *        BOTH execution paths, mirroring a broken neuron whose
+     *        output net floats to ground.  Sorted, unique, in range.
+     */
     Linear(std::vector<Fp4> weights, std::size_t out_dim,
-           std::size_t in_dim);
+           std::size_t in_dim,
+           std::vector<std::uint32_t> dead_rows = {});
 
     /** Quantise a real matrix (row-major) to FP4 and construct. */
     static Linear fromReal(const Mat &weights);
@@ -71,6 +79,12 @@ class Linear
     /** Raw FP4 codes (row-major). */
     const std::vector<Fp4> &codes() const { return weights_; }
 
+    /** Dead (defective, unrepaired) output rows; sorted. */
+    const std::vector<std::uint32_t> &deadRows() const
+    {
+        return deadRows_;
+    }
+
     /**
      * Extract the sub-projection [row0, row0+rows) x [col0, col0+cols)
      * as its own Linear (used by the distributed dataflow to build
@@ -99,6 +113,7 @@ class Linear
     std::vector<Fp4> weights_;
     std::size_t outDim_;
     std::size_t inDim_;
+    std::vector<std::uint32_t> deadRows_;
     std::shared_ptr<HardwiredState> hardwiredState_;
 };
 
