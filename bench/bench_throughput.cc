@@ -1,21 +1,28 @@
 /**
  * @file
  * Host-side decode throughput of the functional engine across thread
- * counts (ExecOptions{threads} -> ThreadPool -> row/expert/head
- * parallelism).
+ * counts and HN GEMV kernels (ExecOptions{threads, kernel}).
  *
  * Runs a scaled gpt-oss-shaped block (same head/expert structure as
  * gpt-oss 120 B, dimensions shrunk ~10x so the functional simulation
  * fits a laptop) through a prefill + autoregressive decode loop and
- * reports tokens/s at 1/2/4/8 threads for the reference float path
- * and the bit-serial hardwired path.  Because the parallel layer is
- * bit-exact, every row of the table computes the same tokens -- only
- * the wall clock changes.
+ * reports tokens/s at 1/2/4/8 threads for:
  *
- * Usage: bench_throughput [decode_steps_ref] [decode_steps_hw]
+ *  - the reference float path,
+ *  - the hardwired path with the Scalar (per-wire emulation) kernel,
+ *  - the hardwired path with the Packed (word-parallel popcount)
+ *    kernel.
+ *
+ * Because both the parallel layer and the Packed kernel are bit-exact,
+ * every row of the tables computes the same tokens -- only the wall
+ * clock changes.  All measurements are also written to
+ * BENCH_throughput.json (machine readable, for trajectory tracking).
+ *
+ * Usage: bench_throughput [decode_steps_ref] [decode_steps_hw] [json]
  */
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -53,15 +60,21 @@ scaledGptOssBlock()
 
 struct Measurement
 {
+    std::string path;
+    std::string kernel;
     std::size_t threads;
     double tokensPerSecond;
 };
 
 Measurement
 measure(const TransformerConfig &cfg, const ModelWeights &weights,
-        ExecPath path, std::size_t threads, std::size_t decode_steps)
+        ExecPath path, HnKernel kernel, std::size_t threads,
+        std::size_t decode_steps)
 {
-    Engine engine(cfg, weights, path, 8, ExecOptions{threads});
+    ExecOptions exec;
+    exec.threads = threads;
+    exec.kernel = kernel;
+    Engine engine(cfg, weights, path, 8, exec);
     Sampler greedy(SamplerConfig{}, 1);
     const std::vector<std::size_t> prompt{7, 301, 42, 1999};
 
@@ -73,29 +86,63 @@ measure(const TransformerConfig &cfg, const ModelWeights &weights,
         std::chrono::duration<double>(stop - start).count();
     const double tokens =
         static_cast<double>(prompt.size() + decode_steps);
-    return {threads, tokens / seconds};
+    Measurement m;
+    m.path = path == ExecPath::Reference ? "reference" : "hardwired";
+    m.kernel = kernel == HnKernel::Scalar ? "scalar" : "packed";
+    m.threads = threads;
+    m.tokensPerSecond = tokens / seconds;
+    return m;
 }
 
-void
+std::vector<Measurement>
 reportPath(const char *title, const TransformerConfig &cfg,
-           const ModelWeights &weights, ExecPath path,
+           const ModelWeights &weights, ExecPath path, HnKernel kernel,
            std::size_t decode_steps)
 {
     bench::banner(title);
     Table table({"Threads", "Tokens/s", "Speedup vs 1T"});
+    std::vector<Measurement> measurements;
     double base = 0.0;
     for (std::size_t threads : {1u, 2u, 4u, 8u}) {
         const Measurement m =
-            measure(cfg, weights, path, threads, decode_steps);
+            measure(cfg, weights, path, kernel, threads, decode_steps);
         if (threads == 1)
             base = m.tokensPerSecond;
         table.addRow({std::to_string(m.threads),
                       commaString(m.tokensPerSecond, 2),
                       commaString(m.tokensPerSecond / base, 2) + "x"});
+        measurements.push_back(m);
     }
     table.print();
     std::printf("(hardware concurrency: %u)\n",
                 std::thread::hardware_concurrency());
+    return measurements;
+}
+
+void
+writeJson(const std::string &json_path, const TransformerConfig &cfg,
+          const std::vector<Measurement> &measurements)
+{
+    std::FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"model\": \"%s\",\n  \"configs\": [\n",
+                 cfg.name.c_str());
+    for (std::size_t i = 0; i < measurements.size(); ++i) {
+        const Measurement &m = measurements[i];
+        std::fprintf(f,
+                     "    {\"path\": \"%s\", \"kernel\": \"%s\", "
+                     "\"threads\": %zu, \"tokens_per_s\": %.3f}%s\n",
+                     m.path.c_str(), m.kernel.c_str(), m.threads,
+                     m.tokensPerSecond,
+                     i + 1 < measurements.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu configs)\n", json_path.c_str(),
+                measurements.size());
 }
 
 } // namespace
@@ -109,10 +156,12 @@ main(int argc, char **argv)
         argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 48;
     const std::size_t decode_hw =
         argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+    const std::string json_path =
+        argc > 3 ? argv[3] : "BENCH_throughput.json";
 
     const TransformerConfig cfg = scaledGptOssBlock();
-    bench::banner("Decode throughput vs thread count (" + cfg.name +
-                  ")");
+    bench::banner("Decode throughput vs thread count and kernel (" +
+                  cfg.name + ")");
     std::printf("hidden %zu, %zu experts (top-%zu), %zu query heads, "
                 "vocab %zu\n",
                 cfg.hiddenSize, cfg.expertCount, cfg.activeExperts,
@@ -120,9 +169,38 @@ main(int argc, char **argv)
 
     const ModelWeights weights = ModelWeights::randomInit(cfg, 7);
 
-    reportPath("Reference path (float GEMV)", cfg, weights,
-               ExecPath::Reference, decode_ref);
-    reportPath("Hardwired path (bit-serial HN arrays)", cfg, weights,
-               ExecPath::Hardwired, decode_hw);
+    std::vector<Measurement> all;
+    auto append = [&all](const std::vector<Measurement> &ms) {
+        all.insert(all.end(), ms.begin(), ms.end());
+    };
+    append(reportPath("Reference path (float GEMV)", cfg, weights,
+                      ExecPath::Reference, HnKernel::Packed,
+                      decode_ref));
+    append(reportPath("Hardwired path, Scalar kernel (per-wire "
+                      "emulation)",
+                      cfg, weights, ExecPath::Hardwired,
+                      HnKernel::Scalar, decode_hw));
+    append(reportPath("Hardwired path, Packed kernel (word-parallel "
+                      "popcount)",
+                      cfg, weights, ExecPath::Hardwired,
+                      HnKernel::Packed, decode_hw));
+
+    // Packed-vs-Scalar speedup at equal thread count (the tentpole
+    // acceptance metric).
+    bench::banner("Packed kernel speedup over Scalar (hardwired path)");
+    Table speedup({"Threads", "Scalar tok/s", "Packed tok/s", "Speedup"});
+    for (std::size_t t = 0; t < 4; ++t) {
+        const Measurement &scalar = all[4 + t];
+        const Measurement &packed = all[8 + t];
+        speedup.addRow(
+            {std::to_string(scalar.threads),
+             commaString(scalar.tokensPerSecond, 2),
+             commaString(packed.tokensPerSecond, 2),
+             commaString(packed.tokensPerSecond /
+                         scalar.tokensPerSecond, 2) + "x"});
+    }
+    speedup.print();
+
+    writeJson(json_path, cfg, all);
     return 0;
 }

@@ -28,6 +28,14 @@ cmake -B "$TSAN_DIR" -S . -DHNLPU_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j --target test_parallel
 (cd "$TSAN_DIR" && ctest --output-on-failure -R '^test_parallel$')
 
+echo "== tier-1: kernel tests under ThreadSanitizer =="
+# The Packed kernel builds one PackedPlanes per GEMV and shares it
+# read-only across all row workers (and a mutex-guarded scratch arena
+# across concurrent MoE experts); TSan proves that sharing is really
+# read-only rather than merely luckily un-corrupted.
+cmake --build "$TSAN_DIR" -j --target test_hn_kernel
+(cd "$TSAN_DIR" && ctest --output-on-failure -L '^kernel$')
+
 echo "== tier-1: fault tests under AddressSanitizer =="
 cmake -B "$ASAN_DIR" -S . -DHNLPU_SANITIZE=address
 cmake --build "$ASAN_DIR" -j --target test_fault

@@ -33,6 +33,41 @@ BitSerializer::plane(unsigned bit) const
 }
 
 void
+PackedPlanes::build(const std::vector<std::int64_t> &values,
+                    unsigned width)
+{
+    hnlpu_assert(width >= 2 && width <= 63, "bad bit-serial width ",
+                 width);
+    const std::int64_t lo = -(std::int64_t(1) << (width - 1));
+    const std::int64_t hi = (std::int64_t(1) << (width - 1)) - 1;
+    width_ = width;
+    lanes_ = values.size();
+    wordsPerPlane_ = (lanes_ + 63) / 64;
+    // assign() keeps the capacity, so rebuilding at a stable geometry
+    // (every decode step of a given projection) is allocation free.
+    words_.assign(std::size_t(width_) * wordsPerPlane_, 0);
+    for (std::size_t i = 0; i < lanes_; ++i) {
+        const std::int64_t v = values[i];
+        hnlpu_assert(v >= lo && v <= hi, "value ", v,
+                     " does not fit in ", width, " bits");
+        const std::uint64_t u = static_cast<std::uint64_t>(v);
+        const std::size_t word = i / 64;
+        const std::uint64_t lane_bit = std::uint64_t(1) << (i % 64);
+        for (unsigned bit = 0; bit < width_; ++bit) {
+            if ((u >> bit) & 1ULL)
+                words_[bit * wordsPerPlane_ + word] |= lane_bit;
+        }
+    }
+}
+
+const std::uint64_t *
+PackedPlanes::plane(unsigned bit) const
+{
+    hnlpu_assert(bit < width_, "plane index out of range");
+    return words_.data() + std::size_t(bit) * wordsPerPlane_;
+}
+
+void
 SerialAccumulator::addPlane(unsigned bit, bool sign_plane,
                             std::int64_t count)
 {

@@ -45,6 +45,50 @@ class BitSerializer
 };
 
 /**
+ * Bit planes packed 64 lanes per 64-bit word, LSB-plane first.
+ *
+ * This is the word-parallel twin of BitSerializer: plane(bit) returns
+ * wordsPerPlane() uint64_t words where word w bit l carries lane
+ * 64*w + l of bit plane @p bit.  Lanes beyond laneCount() in the tail
+ * word are zero.  A PackedPlanes is built once per GEMV and then shared
+ * read-only across every neuron row (and every worker thread), which is
+ * what removes the per-row re-serialisation of the scalar path.
+ *
+ * build() reuses the word buffer's capacity, so a long-lived instance
+ * (see hn/hn_kernel.hh scratch arena) allocates only on its first use
+ * at a given geometry.
+ */
+class PackedPlanes
+{
+  public:
+    PackedPlanes() = default;
+
+    /**
+     * (Re)build the planes from @p values.  Same contract as
+     * BitSerializer: all values must fit in @p width bits two's
+     * complement, width in 2..63.
+     */
+    void build(const std::vector<std::int64_t> &values, unsigned width);
+
+    unsigned width() const { return width_; }
+    std::size_t laneCount() const { return lanes_; }
+    /** ceil(laneCount / 64): words per bit plane. */
+    std::size_t wordsPerPlane() const { return wordsPerPlane_; }
+
+    /** Pointer to the wordsPerPlane() words of plane @p bit (0 = LSB). */
+    const std::uint64_t *plane(unsigned bit) const;
+
+    /** True if @p bit is the (sign-carrying) MSB plane. */
+    bool isSignPlane(unsigned bit) const { return bit == width_ - 1; }
+
+  private:
+    std::vector<std::uint64_t> words_;
+    unsigned width_ = 0;
+    std::size_t lanes_ = 0;
+    std::size_t wordsPerPlane_ = 0;
+};
+
+/**
  * Serial accumulator: folds per-plane popcounts into a running integer
  * using weight 2^bit (negative for the sign plane).  Bit-exact: after all
  * planes of all lanes are added, total() equals the plain integer sum of

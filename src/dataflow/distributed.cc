@@ -46,9 +46,11 @@ DistributedEngine::DistributedEngine(const TransformerConfig &cfg,
                                      std::size_t grid_rows,
                                      std::size_t grid_cols,
                                      ExecPath path,
-                                     unsigned activation_bits)
+                                     unsigned activation_bits,
+                                     HnKernel kernel)
     : cfg_(cfg), weights_(weights), rows_(grid_rows), cols_(grid_cols),
-      path_(path), activationBits_(activation_bits),
+      path_(path), activationBits_(activation_bits), kernel_(kernel),
+      scratchArena_(std::make_unique<HnScratchArena>()),
       partition_(makePartition(cfg, grid_rows, grid_cols))
 {
     cfg_.validate();
@@ -184,12 +186,15 @@ DistributedEngine::attention(std::size_t layer, const Vec &x_norm,
             const ChipShard &shard = shards_->chips[r * cols_ + c];
             const Vec x_slice(x_norm.begin() + r * hidden_slice,
                               x_norm.begin() + (r + 1) * hidden_slice);
-            const Vec qp = shard.wq[layer].forward(x_slice, path_,
-                                                   activationBits_);
-            const Vec kp = shard.wk[layer].forward(x_slice, path_,
-                                                   activationBits_);
-            const Vec vp = shard.wv[layer].forward(x_slice, path_,
-                                                   activationBits_);
+            const Vec qp = shard.wq[layer].forward(
+                x_slice, path_, activationBits_, nullptr, nullptr,
+                kernel_, scratchArena_.get());
+            const Vec kp = shard.wk[layer].forward(
+                x_slice, path_, activationBits_, nullptr, nullptr,
+                kernel_, scratchArena_.get());
+            const Vec vp = shard.wv[layer].forward(
+                x_slice, path_, activationBits_, nullptr, nullptr,
+                kernel_, scratchArena_.get());
             for (std::size_t i = 0; i < qs; ++i)
                 q[i] += qp[i];
             for (std::size_t i = 0; i < kvs; ++i) {
@@ -278,7 +283,8 @@ DistributedEngine::attention(std::size_t layer, const Vec &x_norm,
             const Vec attn_col(attn_out.begin() + c * qs,
                                attn_out.begin() + (c + 1) * qs);
             const Vec partial = shard.wo[layer].forward(
-                attn_col, path_, activationBits_);
+                attn_col, path_, activationBits_, nullptr, nullptr,
+                kernel_, scratchArena_.get());
             for (std::size_t i = 0; i < hidden_slice; ++i)
                 slice[i] += partial[i];
         }
@@ -323,13 +329,18 @@ DistributedEngine::feedForward(std::size_t layer, const Vec &x_norm)
                 continue;
             const Expert &ex =
                 shard.experts[layer][std::size_t(it - ids.begin())];
-            const Vec up = ex.up.forward(x_norm, path_,
-                                         activationBits_);
+            const Vec up = ex.up.forward(x_norm, path_, activationBits_,
+                                         nullptr, nullptr, kernel_,
+                                         scratchArena_.get());
             const Vec gate = ex.gate.forward(x_norm, path_,
-                                             activationBits_);
+                                             activationBits_, nullptr,
+                                             nullptr, kernel_,
+                                             scratchArena_.get());
             const Vec act = swiGlu(gate, up);
             const Vec down = ex.down.forward(act, path_,
-                                             activationBits_);
+                                             activationBits_, nullptr,
+                                             nullptr, kernel_,
+                                             scratchArena_.get());
             for (std::size_t d = 0; d < out.size(); ++d)
                 out[d] += gate_weights[k] * down[d];
         }
@@ -364,7 +375,8 @@ DistributedEngine::forwardToken(std::size_t token_id, Cache &cache)
     Vec logits(cfg_.vocabSize);
     for (std::size_t chip = 0; chip < chipCount(); ++chip) {
         const Vec shard_logits = shards_->chips[chip].unembed.forward(
-            final_norm, path_, activationBits_);
+            final_norm, path_, activationBits_, nullptr, nullptr,
+            kernel_, scratchArena_.get());
         std::copy(shard_logits.begin(), shard_logits.end(),
                   logits.begin() + chip * vocab_s);
     }

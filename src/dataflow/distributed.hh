@@ -64,7 +64,8 @@ class DistributedEngine
                       const ModelWeights &weights, std::size_t grid_rows,
                       std::size_t grid_cols,
                       ExecPath path = ExecPath::Reference,
-                      unsigned activation_bits = 8);
+                      unsigned activation_bits = 8,
+                      HnKernel kernel = HnKernel::Packed);
 
     /** Per-sequence distributed KV cache. */
     class Cache;
@@ -99,6 +100,12 @@ class DistributedEngine
     std::size_t cols_;
     ExecPath path_;
     unsigned activationBits_;
+    /** Hardwired-path GEMV kernel for every projection shard. */
+    HnKernel kernel_;
+    /** Shared Packed-kernel scratch recycler across all shard GEMVs
+     *  (behind unique_ptr: the arena's mutex must not block the
+     *  engine's defaulted move constructor). */
+    std::unique_ptr<HnScratchArena> scratchArena_;
     SystemPartition partition_;
     CommVolume comm_;
     std::unique_ptr<ShardSet> shards_;

@@ -1,6 +1,7 @@
 #include "hn/hn_array.hh"
 
 #include <mutex>
+#include <optional>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -53,9 +54,22 @@ HnArray::HnArray(const SeaOfNeuronsTemplate &tmpl,
 std::vector<std::int64_t>
 HnArray::gemvSerial(const std::vector<std::int64_t> &activations,
                     unsigned width, HnActivity *activity,
-                    ThreadPool *pool) const
+                    ThreadPool *pool, HnKernel kernel,
+                    HnScratchArena *arena) const
 {
     std::vector<std::int64_t> out(neurons_.size());
+
+    // Packed kernel: serialise the activation vector exactly once.  The
+    // planes are then immutable for the lifetime of the GEMV and every
+    // row worker reads them concurrently without synchronisation.
+    std::optional<HnScratchLease> lease;
+    const PackedPlanes *planes = nullptr;
+    if (kernel == HnKernel::Packed) {
+        lease.emplace(arena);
+        lease->get().planes.build(activations, width);
+        planes = &lease->get().planes;
+    }
+
     // Each worker owns a disjoint row range of `out` and a private
     // activity counter; counters are exact integer sums, so merging
     // them (in any order) reproduces the serial totals bit-exactly.
@@ -67,10 +81,13 @@ HnArray::gemvSerial(const std::vector<std::int64_t> &activations,
         for (std::size_t r = begin; r < end; ++r) {
             // A dead neuron drives 0 and toggles nothing; the mask is
             // per-row state, so the parallel result stays bit-exact.
-            out[r] = rowDead(r)
-                         ? 0
-                         : neurons_[r].computeSerial(activations, width,
-                                                     local_ptr);
+            if (rowDead(r))
+                out[r] = 0;
+            else if (planes)
+                out[r] = neurons_[r].computePacked(*planes, local_ptr);
+            else
+                out[r] = neurons_[r].computeSerial(activations, width,
+                                                   local_ptr);
         }
         if (activity) {
             std::lock_guard<std::mutex> lock(activity_mutex);
@@ -99,11 +116,12 @@ HnArray::rowDead(std::size_t row) const
 
 std::vector<double>
 HnArray::gemvReal(const std::vector<double> &activations, unsigned width,
-                  HnActivity *activity, ThreadPool *pool) const
+                  HnActivity *activity, ThreadPool *pool, HnKernel kernel,
+                  HnScratchArena *arena) const
 {
     const QuantizedVector q = quantizeSymmetric(activations, width);
     const std::vector<std::int64_t> ints =
-        gemvSerial(q.values, width, activity, pool);
+        gemvSerial(q.values, width, activity, pool, kernel, arena);
     std::vector<double> out(ints.size());
     // Weights contribute 2*w, so fold the missing 1/2 into the scale.
     const double scale = q.scale * 0.5;

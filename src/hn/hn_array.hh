@@ -22,6 +22,7 @@
 
 #include "arith/fp4.hh"
 #include "arith/quantize.hh"
+#include "hn/hn_kernel.hh"
 #include "hn/hn_neuron.hh"
 #include "hn/wire_topology.hh"
 
@@ -70,10 +71,20 @@ class HnArray
      * With @p pool, output rows are partitioned into disjoint chunks
      * (one neuron row per output element, so bit-exact vs serial);
      * per-worker activity counters are summed into @p activity.
+     *
+     * @param kernel HnKernel::Packed (default) serialises the
+     *        activations once into PackedPlanes and evaluates every
+     *        row word-parallel; HnKernel::Scalar is the original
+     *        per-row emulation.  Outputs and activity counters are
+     *        bit-identical between the two.
+     * @param arena optional scratch recycler for the Packed plane
+     *        buffer; null allocates a transient scratch per call.
      */
     std::vector<std::int64_t> gemvSerial(
         const std::vector<std::int64_t> &activations, unsigned width,
-        HnActivity *activity = nullptr, ThreadPool *pool = nullptr) const;
+        HnActivity *activity = nullptr, ThreadPool *pool = nullptr,
+        HnKernel kernel = HnKernel::Packed,
+        HnScratchArena *arena = nullptr) const;
 
     /** Reference integer GEMV (oracle). */
     std::vector<std::int64_t> gemvReference(
@@ -82,12 +93,15 @@ class HnArray
     /**
      * Real-valued GEMV: symmetric @p width-bit activation quantisation,
      * integer evaluation, dequantisation (including the 1/2 from the
-     * twice-value weight convention).
+     * twice-value weight convention).  @p kernel / @p arena as in
+     * gemvSerial.
      */
     std::vector<double> gemvReal(const std::vector<double> &activations,
                                  unsigned width = 8,
                                  HnActivity *activity = nullptr,
-                                 ThreadPool *pool = nullptr) const;
+                                 ThreadPool *pool = nullptr,
+                                 HnKernel kernel = HnKernel::Packed,
+                                 HnScratchArena *arena = nullptr) const;
 
     const HardwiredNeuron &neuron(std::size_t row) const;
 

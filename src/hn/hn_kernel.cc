@@ -1,0 +1,47 @@
+#include "hn/hn_kernel.hh"
+
+namespace hnlpu {
+
+std::unique_ptr<HnScratch>
+HnScratchArena::acquire()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!free_.empty()) {
+            std::unique_ptr<HnScratch> scratch = std::move(free_.back());
+            free_.pop_back();
+            return scratch;
+        }
+    }
+    return std::make_unique<HnScratch>();
+}
+
+void
+HnScratchArena::release(std::unique_ptr<HnScratch> scratch)
+{
+    if (!scratch)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(scratch));
+}
+
+std::size_t
+HnScratchArena::idleCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+}
+
+HnScratchLease::HnScratchLease(HnScratchArena *arena)
+    : arena_(arena),
+      scratch_(arena ? arena->acquire() : std::make_unique<HnScratch>())
+{
+}
+
+HnScratchLease::~HnScratchLease()
+{
+    if (arena_)
+        arena_->release(std::move(scratch_));
+}
+
+} // namespace hnlpu

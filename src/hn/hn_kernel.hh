@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Kernel selection and scratch memory for HN array GEMV.
+ *
+ * The HN array has two bit-exact host kernels:
+ *
+ *  - Scalar: the original functional model -- per row, re-serialise the
+ *    activation vector into std::vector<bool> planes and walk each FP4
+ *    region's input list element by element (one emulated wire at a
+ *    time);
+ *  - Packed: the word-parallel model -- serialise the activations ONCE
+ *    per GEMV into PackedPlanes (64 lanes per uint64_t word), compile
+ *    each region's input list into mask words at programming time, and
+ *    reduce each (plane, region) pair with popcount(plane & mask).
+ *
+ * Both kernels produce identical integer outputs and identical
+ * HnActivity counters (the Packed kernel still accounts logical region
+ * bits, not words); tests/test_hn_kernel.cc pins this.  Packed is the
+ * default everywhere.
+ *
+ * HnScratch owns the PackedPlanes buffer of one in-flight GEMV.
+ * HnScratchArena recycles scratches across calls (and across concurrent
+ * callers, e.g. expert-parallel MoE workers), so steady-state decode
+ * performs no plane-buffer allocation.  The arena hands each caller an
+ * exclusive scratch; the PackedPlanes built into it is then shared
+ * strictly read-only by the row workers of that one GEMV.
+ */
+
+#ifndef HNLPU_HN_HN_KERNEL_HH
+#define HNLPU_HN_HN_KERNEL_HH
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "arith/bitserial.hh"
+
+namespace hnlpu {
+
+/** Which GEMV kernel the hardwired path executes. */
+enum class HnKernel { Scalar, Packed };
+
+/** Reusable per-GEMV working memory (exclusively owned while leased). */
+struct HnScratch
+{
+    PackedPlanes planes;
+};
+
+/**
+ * Mutex-protected free list of scratches.  acquire() pops a recycled
+ * scratch (or creates one on first use); release() returns it.  The
+ * lock is held only for the pointer swap -- never while a GEMV runs --
+ * so concurrent MoE experts each lease their own scratch without
+ * serialising on each other.
+ */
+class HnScratchArena
+{
+  public:
+    HnScratchArena() = default;
+    HnScratchArena(const HnScratchArena &) = delete;
+    HnScratchArena &operator=(const HnScratchArena &) = delete;
+
+    std::unique_ptr<HnScratch> acquire();
+    void release(std::unique_ptr<HnScratch> scratch);
+
+    /** Scratches currently parked in the free list (test hook). */
+    std::size_t idleCount() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<HnScratch>> free_;
+};
+
+/**
+ * RAII lease: takes a scratch from @p arena (returned on destruction),
+ * or owns a private one when @p arena is null so callers without an
+ * engine context still work.
+ */
+class HnScratchLease
+{
+  public:
+    explicit HnScratchLease(HnScratchArena *arena);
+    ~HnScratchLease();
+    HnScratchLease(const HnScratchLease &) = delete;
+    HnScratchLease &operator=(const HnScratchLease &) = delete;
+
+    HnScratch &get() { return *scratch_; }
+
+  private:
+    HnScratchArena *arena_;
+    std::unique_ptr<HnScratch> scratch_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_HN_HN_KERNEL_HH

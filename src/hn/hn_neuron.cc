@@ -1,5 +1,7 @@
 #include "hn/hn_neuron.hh"
 
+#include <bit>
+
 #include "arith/bitserial.hh"
 #include "arith/csa.hh"
 #include "common/logging.hh"
@@ -9,6 +11,26 @@ namespace hnlpu {
 HardwiredNeuron::HardwiredNeuron(WireTopology topology)
     : topology_(std::move(topology))
 {
+    // Compile each non-empty region's input list into a packed mask
+    // stripe.  This is the metalization-time step of the Packed kernel:
+    // region membership is frozen with the wires, so the masks are
+    // immutable after construction and shared by every evaluation.
+    wordsPerPlane_ = (topology_.tmpl().inputCount + 63) / 64;
+    for (int code = 0; code < kFp4Codes; ++code) {
+        const auto &region =
+            topology_.region(static_cast<std::uint8_t>(code));
+        if (region.empty())
+            continue;
+        RegionMask mask;
+        mask.code = static_cast<std::uint8_t>(code);
+        mask.bits = static_cast<std::uint32_t>(region.size());
+        mask.wordOffset = maskWords_.size();
+        maskWords_.resize(maskWords_.size() + wordsPerPlane_, 0);
+        std::uint64_t *words = maskWords_.data() + mask.wordOffset;
+        for (std::uint32_t input : region)
+            words[input / 64] |= std::uint64_t(1) << (input % 64);
+        regionMasks_.push_back(mask);
+    }
 }
 
 std::int64_t
@@ -64,6 +86,62 @@ HardwiredNeuron::computeSerial(
         activity->treeAddOps += tree.compressorCount + 1;
     }
     return result;
+}
+
+std::int64_t
+HardwiredNeuron::computePacked(const PackedPlanes &planes,
+                               HnActivity *activity) const
+{
+    hnlpu_assert(planes.laneCount() == topology_.tmpl().inputCount,
+                 "activation count mismatch");
+    hnlpu_assert(planes.wordsPerPlane() == wordsPerPlane_,
+                 "packed plane geometry mismatch");
+
+    const unsigned width = planes.width();
+    // Hoist the plane base pointers out of the hot loops (width <= 63
+    // by BitSerializer contract, so a stack array suffices).
+    const std::uint64_t *plane_ptr[63];
+    for (unsigned bit = 0; bit < width; ++bit)
+        plane_ptr[bit] = planes.plane(bit);
+
+    const auto &twice = fp4TwiceValueTable();
+    std::int64_t total = 0;
+    std::size_t popcount_bits = 0;
+
+    for (const RegionMask &region : regionMasks_) {
+        const std::uint64_t *mask = maskWords_.data() + region.wordOffset;
+        // Region integer sum: sum_bit (+-2^bit) * popcount_bit -- the
+        // identical int64 additions the scalar path's SerialAccumulator
+        // performs plane by plane, so the per-region totals (and with
+        // them the final result) are bit-exact, not merely close.
+        std::int64_t region_sum = 0;
+        for (unsigned bit = 0; bit < width; ++bit) {
+            const std::uint64_t *plane = plane_ptr[bit];
+            std::int64_t count = 0;
+            for (std::size_t w = 0; w < wordsPerPlane_; ++w)
+                count += std::popcount(plane[w] & mask[w]);
+            const std::int64_t weight = std::int64_t(1) << bit;
+            region_sum += (bit + 1 == width ? -weight : weight) * count;
+        }
+        // Activity accounts logical wires examined (one per region
+        // input per plane), not host words: the counters model the
+        // hardware popcount fabric, not the emulation.
+        popcount_bits += std::size_t(width) * region.bits;
+        // Constant multiply, folded straight into the running total:
+        // csaReduce() is an exact integer sum of the per-region
+        // products, so accumulating them directly yields the same
+        // value without the scalar path's per-row product vector.
+        total += region_sum * twice[region.code];
+    }
+
+    if (activity) {
+        const CsaTreeShape tree = csaTreeShape(regionMasks_.size());
+        activity->cycles += bitSerialCycles(width, tree.depth);
+        activity->popcountBitOps += popcount_bits;
+        activity->multiplyOps += regionMasks_.size();
+        activity->treeAddOps += tree.compressorCount + 1;
+    }
+    return total;
 }
 
 std::int64_t

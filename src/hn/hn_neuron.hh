@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "arith/bitserial.hh"
 #include "arith/fp4.hh"
 #include "hn/wire_topology.hh"
 
@@ -50,6 +51,21 @@ struct HnActivity
     }
 };
 
+/**
+ * One non-empty FP4 region compiled to packed mask words.
+ *
+ * The mask words live in a single per-neuron buffer (one
+ * ceil(inputCount/64)-word stripe per non-empty code, in ascending code
+ * order -- the same order computeSerial() visits regions, so the CSA
+ * operand order and hence the bit-exact result are identical).
+ */
+struct RegionMask
+{
+    std::uint8_t code = 0;    //!< FP4 code of this region
+    std::uint32_t bits = 0;   //!< logical inputs wired into the region
+    std::size_t wordOffset = 0; //!< stripe start in the mask buffer
+};
+
 /** One Hardwired-Neuron programmed with a wire topology. */
 class HardwiredNeuron
 {
@@ -57,7 +73,8 @@ class HardwiredNeuron
     explicit HardwiredNeuron(WireTopology topology);
 
     /**
-     * Evaluate the neuron bit-serially.
+     * Evaluate the neuron bit-serially (Scalar kernel: per-call
+     * re-serialisation, element-wise region walk).
      * @param activations integer activations (one per template input)
      * @param width activation bit width (serial cycle count driver)
      * @param activity optional activity counter accumulation
@@ -67,14 +84,37 @@ class HardwiredNeuron
         const std::vector<std::int64_t> &activations, unsigned width,
         HnActivity *activity = nullptr) const;
 
+    /**
+     * Evaluate the neuron word-parallel (Packed kernel): each
+     * (bit plane, region) popcount runs 64 wires per instruction as
+     * popcount(plane_word & mask_word).  Bit-exact with computeSerial
+     * on the serialisation of the same activations, including the
+     * HnActivity counters (popcountBitOps counts logical region bits).
+     * @p planes is shared read-only: this method never mutates it, so
+     * many rows/threads may evaluate against one PackedPlanes.
+     */
+    std::int64_t computePacked(const PackedPlanes &planes,
+                               HnActivity *activity = nullptr) const;
+
     /** Same result via direct integer arithmetic (oracle). */
     std::int64_t computeReference(
         const std::vector<std::int64_t> &activations) const;
 
     const WireTopology &topology() const { return topology_; }
 
+    /** Compiled masks of the non-empty regions, ascending code order. */
+    const std::vector<RegionMask> &regionMasks() const
+    {
+        return regionMasks_;
+    }
+
   private:
     WireTopology topology_;
+    /** Packed mask stripes; see RegionMask. */
+    std::vector<std::uint64_t> maskWords_;
+    std::vector<RegionMask> regionMasks_;
+    /** ceil(inputCount / 64): words per mask stripe / bit plane. */
+    std::size_t wordsPerPlane_ = 0;
 };
 
 } // namespace hnlpu

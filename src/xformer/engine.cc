@@ -42,16 +42,19 @@ Engine::attention(const BlockWeights &block, const Vec &x_norm,
     ThreadPool *pool = pool_.get();
 
     Vec q_flat = block.wq.forward(x_norm, path_, activationBits_,
-                                  act, pool);
+                                  act, pool, exec_.kernel,
+                                  &scratchArena_);
     if (lora_) {
         const Vec dq = lora_->wq[layer].delta(x_norm);
         for (std::size_t i = 0; i < q_flat.size(); ++i)
             q_flat[i] += dq[i];
     }
     const Vec k_flat = block.wk.forward(x_norm, path_, activationBits_,
-                                        act, pool);
+                                        act, pool, exec_.kernel,
+                                        &scratchArena_);
     const Vec v_flat = block.wv.forward(x_norm, path_, activationBits_,
-                                        act, pool);
+                                        act, pool, exec_.kernel,
+                                        &scratchArena_);
 
     // Split into heads and apply RoPE to queries and keys.
     std::vector<Vec> q_heads(cfg_.queryHeads);
@@ -98,7 +101,7 @@ Engine::attention(const BlockWeights &block, const Vec &x_norm,
         }
     });
     Vec out = block.wo.forward(attn_out, path_, activationBits_, act,
-                               pool);
+                               pool, exec_.kernel, &scratchArena_);
     if (lora_) {
         const Vec d_o = lora_->wo[layer].delta(attn_out);
         for (std::size_t i = 0; i < out.size(); ++i)
@@ -124,7 +127,8 @@ Engine::forwardHidden(std::size_t token_id, KvCache &cache)
         const Vec ffn_in = rmsNorm(x, block.ffnNormGain);
         std::vector<std::size_t> selected;
         const Vec ffn = block.ffn.forward(ffn_in, path_, activationBits_,
-                                          &selected, pool_.get());
+                                          &selected, pool_.get(),
+                                          exec_.kernel, &scratchArena_);
         for (std::size_t e : selected)
             stats_.expertHistogram[e]++;
         x = add(x, ffn);
@@ -142,7 +146,8 @@ Engine::forwardToken(std::size_t token_id, KvCache &cache)
     const Vec final_norm = forwardHidden(token_id, cache);
     return weights_.unembedding.forward(final_norm, path_,
                                         activationBits_, act,
-                                        pool_.get());
+                                        pool_.get(), exec_.kernel,
+                                        &scratchArena_);
 }
 
 void
@@ -170,11 +175,16 @@ Engine::scoreSequence(const std::vector<std::size_t> &tokens)
     }
     KvCache cache = makeCache();
     double total_logprob = 0.0;
+    // Every forward here produces logits that ARE consumed (scoring the
+    // next token), so unlike generate()'s prefill there is no unused
+    // unembedding GEMV to elide.  Scoring uses log-softmax directly:
+    // log p = logit - logsumexp(logits), which matches
+    // log(softmax(logits)[t]) exactly in normal range but cannot
+    // underflow to -inf (no 1e-300 clamp) however large the vocabulary
+    // or extreme the logit gap.
     for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
         const Vec logits = forwardToken(tokens[i], cache);
-        const Vec probs = softmax(logits);
-        total_logprob += std::log(
-            std::max(probs[tokens[i + 1]], 1e-300));
+        total_logprob += logits[tokens[i + 1]] - logSumExp(logits);
     }
     return total_logprob;
 }
@@ -197,9 +207,12 @@ Engine::generate(const std::vector<std::size_t> &prompt,
     hnlpu_assert(!prompt.empty(), "empty prompt");
     KvCache cache = makeCache();
 
-    Vec logits;
-    for (std::size_t token : prompt)
-        logits = forwardToken(token, cache);
+    // Prefill: only the last prompt token's logits feed the sampler, so
+    // every earlier token skips the vocab-sized unembedding GEMV (by
+    // far the largest projection) and just populates the KV cache.
+    for (std::size_t i = 0; i + 1 < prompt.size(); ++i)
+        forwardHidden(prompt[i], cache);
+    Vec logits = forwardToken(prompt.back(), cache);
 
     std::vector<std::size_t> generated;
     generated.reserve(decode_steps);

@@ -37,6 +37,13 @@ namespace hnlpu {
 struct ExecOptions
 {
     std::size_t threads = 1; //!< total parallelism incl. calling thread
+    /**
+     * Hardwired-path GEMV kernel.  Packed (default) compiles region
+     * masks and shares one bit-plane serialisation per GEMV; Scalar is
+     * the original per-row emulation.  Bit-identical outputs and
+     * activity counters either way (tests/test_hn_kernel.cc).
+     */
+    HnKernel kernel = HnKernel::Packed;
 };
 
 /** Aggregate statistics of a generation run. */
@@ -115,6 +122,13 @@ class Engine
     ExecOptions exec_;
     /** Null when exec_.threads <= 1 (pure serial execution). */
     std::unique_ptr<ThreadPool> pool_;
+    /**
+     * Recycles Packed-kernel bit-plane scratches across every GEMV this
+     * engine issues (including concurrent MoE expert workers, which
+     * each lease their own), so steady-state decode allocates no plane
+     * buffers.
+     */
+    HnScratchArena scratchArena_;
     const LoraSet *lora_ = nullptr;
     EngineStats stats_;
 };

@@ -66,12 +66,15 @@ Linear::hardwired() const
 
 Vec
 Linear::forward(const Vec &x, ExecPath path, unsigned activation_bits,
-                HnActivity *activity, ThreadPool *pool) const
+                HnActivity *activity, ThreadPool *pool, HnKernel kernel,
+                HnScratchArena *arena) const
 {
     hnlpu_assert(x.size() == inDim_, "linear input size mismatch: ",
                  x.size(), " vs ", inDim_);
-    if (path == ExecPath::Hardwired)
-        return hardwired().gemvReal(x, activation_bits, activity, pool);
+    if (path == ExecPath::Hardwired) {
+        return hardwired().gemvReal(x, activation_bits, activity, pool,
+                                    kernel, arena);
+    }
 
     Vec y(outDim_, 0.0);
     const auto &values = fp4ValueTable();

@@ -61,11 +61,17 @@ class Linear
      * @param pool optional thread pool; output rows are partitioned
      *        into disjoint contiguous chunks, so the parallel result is
      *        bit-exactly the serial one
+     * @param kernel hardwired-path GEMV kernel; Packed (default) and
+     *        Scalar are bit-identical in outputs and activity counters
+     * @param arena optional scratch recycler for the Packed kernel's
+     *        bit-plane buffer (hardwired only)
      */
     Vec forward(const Vec &x, ExecPath path,
                 unsigned activation_bits = 8,
                 HnActivity *activity = nullptr,
-                ThreadPool *pool = nullptr) const;
+                ThreadPool *pool = nullptr,
+                HnKernel kernel = HnKernel::Packed,
+                HnScratchArena *arena = nullptr) const;
 
     std::size_t outDim() const { return outDim_; }
     std::size_t inDim() const { return inDim_; }

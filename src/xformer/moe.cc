@@ -44,7 +44,8 @@ Vec
 MoeLayer::forward(const Vec &x_norm, ExecPath path,
                   unsigned activation_bits,
                   std::vector<std::size_t> *selected,
-                  ThreadPool *pool) const
+                  ThreadPool *pool, HnKernel kernel,
+                  HnScratchArena *arena) const
 {
     std::vector<std::size_t> chosen;
     Vec gate_weights;
@@ -76,12 +77,16 @@ MoeLayer::forward(const Vec &x_norm, ExecPath path,
                 [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
             const Expert &ex = experts_[chosen[i]];
-            const Vec up = ex.up.forward(x_norm, path, activation_bits);
+            const Vec up = ex.up.forward(x_norm, path, activation_bits,
+                                         nullptr, nullptr, kernel,
+                                         arena);
             const Vec gate =
-                ex.gate.forward(x_norm, path, activation_bits);
+                ex.gate.forward(x_norm, path, activation_bits, nullptr,
+                                nullptr, kernel, arena);
             const Vec activated = swiGlu(gate, up);
             expert_outs[i] =
-                ex.down.forward(activated, path, activation_bits);
+                ex.down.forward(activated, path, activation_bits,
+                                nullptr, nullptr, kernel, arena);
         }
     });
 

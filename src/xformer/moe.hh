@@ -49,11 +49,17 @@ class MoeLayer
      * @param pool optional thread pool; the chosen experts evaluate in
      *        parallel into private buffers, then combine serially in
      *        routing order, so the result is bit-exact vs serial
+     * @param kernel hardwired-path GEMV kernel for the expert
+     *        projections (the router always runs in reference float)
+     * @param arena optional Packed-kernel scratch recycler; concurrent
+     *        experts each lease their own scratch from it
      */
     Vec forward(const Vec &x_norm, ExecPath path,
                 unsigned activation_bits = 8,
                 std::vector<std::size_t> *selected = nullptr,
-                ThreadPool *pool = nullptr) const;
+                ThreadPool *pool = nullptr,
+                HnKernel kernel = HnKernel::Packed,
+                HnScratchArena *arena = nullptr) const;
 
     std::size_t expertCount() const { return experts_.size(); }
     std::size_t activeExperts() const { return activeExperts_; }

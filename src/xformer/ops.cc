@@ -41,6 +41,18 @@ softmax(const Vec &logits)
 }
 
 double
+logSumExp(const Vec &logits)
+{
+    hnlpu_assert(!logits.empty(), "logSumExp of empty vector");
+    const double max_logit = *std::max_element(logits.begin(),
+                                               logits.end());
+    double total = 0.0;
+    for (double l : logits)
+        total += std::exp(l - max_logit);
+    return max_logit + std::log(total);
+}
+
+double
 silu(double x)
 {
     return x / (1.0 + std::exp(-x));

@@ -19,6 +19,13 @@ Vec rmsNorm(const Vec &x, const Vec &gain, double eps = 1e-5);
 /** Numerically stable softmax. */
 Vec softmax(const Vec &logits);
 
+/**
+ * Numerically stable log(sum_i exp(logits[i])) (max-shifted).  With it,
+ * log softmax(logits)[t] == logits[t] - logSumExp(logits) without ever
+ * materialising a probability that could underflow to 0.
+ */
+double logSumExp(const Vec &logits);
+
 /** SiLU (swish) activation, x * sigmoid(x). */
 double silu(double x);
 

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Bit-exactness sweep of the Packed (word-parallel) HN GEMV kernel
+ * against the Scalar (per-wire emulation) kernel: outputs AND
+ * HnActivity counters must be identical across activation widths,
+ * ragged (cols % 64 != 0) shapes, dead-row masks, stuck-at faulted
+ * weights and thread counts.  Also covers the PackedPlanes serializer,
+ * the scratch arena recycling, and end-to-end engine equality under
+ * ExecOptions::kernel.
+ *
+ * Registered under ctest label `kernel`; scripts/tier1.sh additionally
+ * runs it under ThreadSanitizer to prove the per-GEMV PackedPlanes is
+ * shared strictly read-only across row workers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "fault/fault_plan.hh"
+#include "fault/model_faults.hh"
+#include "hn/hn_array.hh"
+#include "hn/hn_kernel.hh"
+#include "model/model_zoo.hh"
+#include "xformer/engine.hh"
+#include "xformer/linear.hh"
+#include "xformer/sampler.hh"
+
+namespace hnlpu {
+namespace {
+
+SeaOfNeuronsTemplate
+makeTemplate(std::size_t inputs)
+{
+    SeaOfNeuronsTemplate tmpl;
+    tmpl.inputCount = inputs;
+    tmpl.portsPerSlice = 16;
+    tmpl.slackFactor = 4.0;
+    return tmpl;
+}
+
+std::vector<std::int64_t>
+randomActivations(std::size_t count, unsigned width, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const std::int64_t hi = (std::int64_t(1) << (width - 1)) - 1;
+    const std::int64_t lo = -hi - 1;
+    std::vector<std::int64_t> acts(count);
+    for (auto &a : acts)
+        a = rng.uniformInt(lo, hi);
+    return acts;
+}
+
+void
+expectActivityEq(const HnActivity &a, const HnActivity &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.popcountBitOps, b.popcountBitOps);
+    EXPECT_EQ(a.multiplyOps, b.multiplyOps);
+    EXPECT_EQ(a.treeAddOps, b.treeAddOps);
+}
+
+// -- PackedPlanes vs BitSerializer ----------------------------------------
+
+TEST(PackedPlanes, MatchesBitSerializerBitForBit)
+{
+    for (std::size_t lanes : {1u, 63u, 64u, 65u, 130u}) {
+        for (unsigned width : {2u, 4u, 8u, 16u}) {
+            const auto values =
+                randomActivations(lanes, width, 90 + lanes + width);
+            BitSerializer serializer(values, width);
+            PackedPlanes planes;
+            planes.build(values, width);
+            ASSERT_EQ(planes.laneCount(), lanes);
+            ASSERT_EQ(planes.wordsPerPlane(), (lanes + 63) / 64);
+            for (unsigned bit = 0; bit < width; ++bit) {
+                const auto reference = serializer.plane(bit);
+                const std::uint64_t *words = planes.plane(bit);
+                EXPECT_EQ(planes.isSignPlane(bit),
+                          serializer.isSignPlane(bit));
+                for (std::size_t i = 0; i < lanes; ++i) {
+                    const bool packed_bit =
+                        (words[i / 64] >> (i % 64)) & 1;
+                    ASSERT_EQ(packed_bit, bool(reference[i]))
+                        << "lanes " << lanes << " width " << width
+                        << " bit " << bit << " lane " << i;
+                }
+                // Tail lanes beyond laneCount() must be zero so mask
+                // AND-popcounts never see ghost wires.
+                for (std::size_t i = lanes;
+                     i < planes.wordsPerPlane() * 64; ++i) {
+                    ASSERT_EQ((words[i / 64] >> (i % 64)) & 1, 0u);
+                }
+            }
+        }
+    }
+}
+
+TEST(PackedPlanes, RebuildReusesGeometryAndRejectsOverflow)
+{
+    PackedPlanes planes;
+    planes.build({1, -2, 3}, 4);
+    EXPECT_EQ(planes.width(), 4u);
+    planes.build({7, -8}, 4); // shrink in place
+    EXPECT_EQ(planes.laneCount(), 2u);
+    EXPECT_DEATH(planes.build({128}, 8), "does not fit");
+}
+
+// -- neuron- and array-level bit-exactness --------------------------------
+
+TEST(PackedKernel, NeuronMatchesSerialAcrossWidths)
+{
+    const std::size_t cols = 70; // deliberately not a multiple of 64
+    const auto tmpl = makeTemplate(cols);
+    const auto weights = syntheticFp4Weights(cols, 17);
+    auto topo = WireTopology::program(tmpl, weights);
+    ASSERT_TRUE(topo.has_value());
+    const HardwiredNeuron neuron(std::move(*topo));
+
+    for (unsigned width : {4u, 8u, 16u}) {
+        const auto acts = randomActivations(cols, width, width);
+        HnActivity serial_act, packed_act;
+        const std::int64_t serial =
+            neuron.computeSerial(acts, width, &serial_act);
+        PackedPlanes planes;
+        planes.build(acts, width);
+        const std::int64_t packed =
+            neuron.computePacked(planes, &packed_act);
+        EXPECT_EQ(packed, serial) << "width " << width;
+        EXPECT_EQ(packed, neuron.computeReference(acts));
+        expectActivityEq(packed_act, serial_act);
+    }
+}
+
+TEST(PackedKernel, ArraySweepWidthsShapesThreadsAndDeadRows)
+{
+    for (std::size_t cols : {33u, 64u, 100u}) {
+        for (unsigned width : {4u, 8u, 16u}) {
+            const std::size_t rows = 12;
+            const auto tmpl = makeTemplate(cols);
+            const auto weights =
+                syntheticFp4Weights(rows * cols, 1000 + cols + width);
+            const std::vector<std::uint32_t> dead{1, 7, 11};
+            const HnArray array(tmpl, weights, rows, cols, dead);
+            const auto acts =
+                randomActivations(cols, width, cols * width);
+
+            HnActivity scalar_act, packed_act;
+            const auto scalar =
+                array.gemvSerial(acts, width, &scalar_act, nullptr,
+                                 HnKernel::Scalar);
+            const auto packed =
+                array.gemvSerial(acts, width, &packed_act, nullptr,
+                                 HnKernel::Packed);
+            EXPECT_EQ(packed, scalar)
+                << "cols " << cols << " width " << width;
+            EXPECT_EQ(packed, array.gemvReference(acts));
+            expectActivityEq(packed_act, scalar_act);
+            for (std::uint32_t r : dead)
+                EXPECT_EQ(packed[r], 0);
+
+            // Multi-threaded Packed: same planes shared read-only by
+            // all workers, still bit-exact (incl. merged counters).
+            ThreadPool pool(4);
+            HnActivity pooled_act;
+            const auto pooled =
+                array.gemvSerial(acts, width, &pooled_act, &pool,
+                                 HnKernel::Packed);
+            EXPECT_EQ(pooled, scalar);
+            expectActivityEq(pooled_act, scalar_act);
+        }
+    }
+}
+
+TEST(PackedKernel, RealGemvMatchesScalarExactly)
+{
+    const std::size_t rows = 9, cols = 77;
+    const auto tmpl = makeTemplate(cols);
+    const auto weights = syntheticFp4Weights(rows * cols, 23);
+    const HnArray array(tmpl, weights, rows, cols);
+
+    Vec x(cols);
+    for (std::size_t i = 0; i < cols; ++i)
+        x[i] = std::sin(double(i) * 0.7) * 2.0;
+
+    const auto scalar = array.gemvReal(x, 8, nullptr, nullptr,
+                                       HnKernel::Scalar);
+    const auto packed = array.gemvReal(x, 8, nullptr, nullptr,
+                                       HnKernel::Packed);
+    ASSERT_EQ(scalar.size(), packed.size());
+    for (std::size_t r = 0; r < rows; ++r)
+        EXPECT_EQ(packed[r], scalar[r]) << "row " << r; // bit-identical
+}
+
+// -- faulted arrays -------------------------------------------------------
+
+TEST(PackedKernel, StuckAtFaultedLinearStaysBitExact)
+{
+    FaultModelParams params;
+    params.seed = 99;
+    params.stuckBitRate = 0.03;
+    params.deadRowRate = 0.1;
+    const FaultInjector injector(params);
+
+    const Linear clean = Linear::random(24, 70, 7);
+    const Linear faulty = applyToLinear(injector, clean, "kernel.sweep");
+
+    Vec x(70);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = std::cos(double(i)) * 1.5;
+
+    for (unsigned width : {4u, 8u, 16u}) {
+        HnActivity scalar_act, packed_act;
+        const Vec scalar =
+            faulty.forward(x, ExecPath::Hardwired, width, &scalar_act,
+                           nullptr, HnKernel::Scalar);
+        const Vec packed =
+            faulty.forward(x, ExecPath::Hardwired, width, &packed_act,
+                           nullptr, HnKernel::Packed);
+        ASSERT_EQ(scalar.size(), packed.size());
+        for (std::size_t r = 0; r < scalar.size(); ++r)
+            EXPECT_EQ(packed[r], scalar[r]) << "row " << r;
+        expectActivityEq(packed_act, scalar_act);
+        for (std::uint32_t r : faulty.deadRows())
+            EXPECT_EQ(packed[r], 0.0);
+    }
+}
+
+// -- scratch arena --------------------------------------------------------
+
+TEST(ScratchArena, RecyclesScratchesAcrossLeases)
+{
+    HnScratchArena arena;
+    EXPECT_EQ(arena.idleCount(), 0u);
+    {
+        HnScratchLease a(&arena);
+        HnScratchLease b(&arena); // concurrent leases get distinct ones
+        EXPECT_NE(&a.get(), &b.get());
+        EXPECT_EQ(arena.idleCount(), 0u);
+    }
+    EXPECT_EQ(arena.idleCount(), 2u);
+    {
+        HnScratchLease c(&arena); // reuses a parked scratch
+        EXPECT_EQ(arena.idleCount(), 1u);
+    }
+    EXPECT_EQ(arena.idleCount(), 2u);
+}
+
+TEST(ScratchArena, ArrayGemvParksScratchForReuse)
+{
+    const std::size_t rows = 4, cols = 40;
+    const auto tmpl = makeTemplate(cols);
+    const HnArray array(tmpl, syntheticFp4Weights(rows * cols, 3), rows,
+                        cols);
+    const auto acts = randomActivations(cols, 8, 5);
+
+    HnScratchArena arena;
+    const auto first = array.gemvSerial(acts, 8, nullptr, nullptr,
+                                        HnKernel::Packed, &arena);
+    EXPECT_EQ(arena.idleCount(), 1u);
+    const auto second = array.gemvSerial(acts, 8, nullptr, nullptr,
+                                         HnKernel::Packed, &arena);
+    EXPECT_EQ(arena.idleCount(), 1u); // same scratch went round-trip
+    EXPECT_EQ(first, second);
+}
+
+// -- engine-level equality ------------------------------------------------
+
+TEST(PackedKernel, EngineScalarAndPackedKernelsAgreeExactly)
+{
+    const auto cfg = tinyTestModel();
+    const auto weights = ModelWeights::randomInit(cfg, 2024);
+
+    for (std::size_t threads : {1u, 4u}) {
+        ExecOptions scalar_exec;
+        scalar_exec.threads = threads;
+        scalar_exec.kernel = HnKernel::Scalar;
+        ExecOptions packed_exec;
+        packed_exec.threads = threads;
+        packed_exec.kernel = HnKernel::Packed;
+
+        Engine scalar_engine(cfg, weights, ExecPath::Hardwired, 8,
+                             scalar_exec);
+        Engine packed_engine(cfg, weights, ExecPath::Hardwired, 8,
+                             packed_exec);
+
+        KvCache scalar_cache = scalar_engine.makeCache();
+        KvCache packed_cache = packed_engine.makeCache();
+        for (std::size_t token : {1u, 5u, 9u, 2u}) {
+            const Vec a =
+                scalar_engine.forwardToken(token, scalar_cache);
+            const Vec b =
+                packed_engine.forwardToken(token, packed_cache);
+            ASSERT_EQ(a.size(), b.size());
+            for (std::size_t i = 0; i < a.size(); ++i)
+                ASSERT_EQ(b[i], a[i]) << "logit " << i;
+        }
+        expectActivityEq(packed_engine.stats().hnActivity,
+                         scalar_engine.stats().hnActivity);
+
+        Sampler greedy_a({0.0, 0}, 0), greedy_b({0.0, 0}, 0);
+        EXPECT_EQ(packed_engine.generate({3, 1}, 6, greedy_b),
+                  scalar_engine.generate({3, 1}, 6, greedy_a));
+    }
+}
+
+} // namespace
+} // namespace hnlpu

@@ -397,6 +397,51 @@ TEST(EngineTest, ScoreSequenceRejectsOutOfRangeIds)
                  "out of vocab range");
 }
 
+TEST(Ops, LogSumExpStableAndConsistentWithSoftmax)
+{
+    // Normal range: logSumExp reproduces log(sum(exp)).
+    const Vec logits{0.5, -1.25, 2.0, 0.0};
+    double direct = 0.0;
+    for (double l : logits)
+        direct += std::exp(l);
+    EXPECT_NEAR(logSumExp(logits), std::log(direct), 1e-12);
+    // log softmax via logSumExp equals log of the softmax entries.
+    const Vec probs = softmax(logits);
+    const double lse = logSumExp(logits);
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        EXPECT_NEAR(logits[i] - lse, std::log(probs[i]), 1e-12);
+    // Extreme logit gaps: softmax(x)[0] underflows to exactly 0 (whose
+    // log is -inf, hence the old 1e-300 clamp) but the log-softmax form
+    // stays finite and exact: x[0] - lse == -2000 here.
+    const Vec extreme{-1000.0, 1000.0};
+    EXPECT_EQ(softmax(extreme)[0], 0.0);
+    EXPECT_NEAR(extreme[0] - logSumExp(extreme), -2000.0, 1e-9);
+}
+
+TEST(EngineTest, ScoreSequenceMatchesManualLogSoftmax)
+{
+    const auto cfg = tinyTestModel();
+    const auto weights = ModelWeights::randomInit(cfg, 6);
+    Engine scorer(cfg, weights, ExecPath::Reference);
+    Engine replay(cfg, weights, ExecPath::Reference);
+
+    const std::vector<std::size_t> tokens{1, 4, 2, 7};
+    const double score = scorer.scoreSequence(tokens);
+
+    KvCache cache = replay.makeCache();
+    double expected = 0.0;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        const Vec logits = replay.forwardToken(tokens[i], cache);
+        expected += logits[tokens[i + 1]] - logSumExp(logits);
+        // And the log-softmax form agrees with the old
+        // log(softmax(logits)[t]) formula in normal range.
+        EXPECT_NEAR(logits[tokens[i + 1]] - logSumExp(logits),
+                    std::log(softmax(logits)[tokens[i + 1]]), 1e-9);
+    }
+    EXPECT_DOUBLE_EQ(score, expected);
+    EXPECT_TRUE(std::isfinite(score));
+}
+
 TEST(EngineTest, DeterministicAcrossRuns)
 {
     const auto cfg = tinyTestModel();
