@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Continuous-batching serving throughput: aggregate tokens/s of the
+ * ServingEngine at 1/2/4/8 decode slots over the batched HN GEMM path.
+ *
+ * A fixed trace of requests (same prompts, same seeds) is served at
+ * every slot count for both execution paths; because the batched
+ * kernels are bit-exact per column, every configuration decodes the
+ * same tokens and only the wall clock changes -- the bench verifies
+ * that token equality inline.  The speedup at batch >= 4 over batch ==
+ * 1 is the tentpole acceptance metric: one weight-side traversal
+ * (region-mask walk on the hardwired path, FP4 row dequantisation on
+ * the reference path) is amortised over every in-flight sequence.
+ *
+ * Measurements, including per-request TTFT / queueing / p50 / p95
+ * records, go to BENCH_serving.json.
+ *
+ * Usage: bench_serving [decode_ref] [decode_hw] [requests] [json]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "xformer/engine.hh"
+#include "xformer/sampler.hh"
+#include "xformer/serving.hh"
+#include "xformer/weights.hh"
+
+namespace {
+
+using namespace hnlpu;
+
+/** gpt-oss-shaped block at ~1/10 linear scale (as bench_throughput). */
+TransformerConfig
+scaledGptOssBlock()
+{
+    TransformerConfig cfg;
+    cfg.name = "gpt-oss-scaled-block";
+    cfg.hiddenSize = 288;
+    cfg.layerCount = 1;
+    cfg.queryHeads = 8;
+    cfg.kvHeads = 2;
+    cfg.headDim = 36;
+    cfg.vocabSize = 2048;
+    cfg.expertCount = 8;
+    cfg.activeExperts = 2;
+    cfg.expertHidden = 288;
+    cfg.weightBits = 4;
+    cfg.validate();
+    return cfg;
+}
+
+struct Measurement
+{
+    std::string path;
+    std::size_t slots = 0;
+    ServingStats stats;
+    std::string metricsJson;
+    std::vector<std::vector<std::size_t>> tokens;
+};
+
+Measurement
+measure(const TransformerConfig &cfg, const ModelWeights &weights,
+        ExecPath path, std::size_t slots, std::size_t requests,
+        std::size_t prompt_tokens, std::size_t decode_tokens)
+{
+    ExecOptions exec;
+    exec.threads = 1; // isolate the batched-kernel win from threading
+    exec.batchSlots = slots;
+    Engine engine(cfg, weights, path, 8, exec);
+    ServingEngine serving(engine);
+
+    for (std::size_t r = 0; r < requests; ++r) {
+        ServingRequest req;
+        for (std::size_t t = 0; t < prompt_tokens; ++t)
+            req.prompt.push_back((7 + 131 * r + 29 * t) % cfg.vocabSize);
+        req.decodeTokens = decode_tokens;
+        req.seed = r;
+        serving.enqueue(req);
+    }
+    const auto outcomes = serving.run();
+
+    Measurement m;
+    m.path = path == ExecPath::Reference ? "reference" : "hardwired";
+    m.slots = slots;
+    m.stats = serving.stats();
+    m.metricsJson = serving.metricsJson();
+    for (const auto &out : outcomes)
+        m.tokens.push_back(out.tokens);
+    return m;
+}
+
+std::vector<Measurement>
+reportPath(const char *title, const TransformerConfig &cfg,
+           const ModelWeights &weights, ExecPath path,
+           std::size_t requests, std::size_t prompt_tokens,
+           std::size_t decode_tokens)
+{
+    bench::banner(title);
+    Table table({"Slots", "Agg tok/s", "Speedup", "Occupancy",
+                 "TTFT p50 ms", "TTFT p95 ms", "Latency p95 ms"});
+    std::vector<Measurement> measurements;
+    double base = 0.0;
+    for (std::size_t slots : {1u, 2u, 4u, 8u}) {
+        Measurement m = measure(cfg, weights, path, slots, requests,
+                                prompt_tokens, decode_tokens);
+        if (slots == 1)
+            base = m.stats.aggregateTokensPerSecond;
+        // Bit-exactness sanity: every slot count decodes the identical
+        // tokens; only the wall clock may differ.
+        if (!measurements.empty() &&
+            m.tokens != measurements.front().tokens) {
+            std::fprintf(stderr,
+                         "FATAL: slots=%zu decoded different tokens\n",
+                         slots);
+            std::exit(1);
+        }
+        table.addRow(
+            {std::to_string(slots),
+             commaString(m.stats.aggregateTokensPerSecond, 2),
+             commaString(m.stats.aggregateTokensPerSecond / base, 2) +
+                 "x",
+             commaString(m.stats.meanOccupancy, 2),
+             commaString(m.stats.ttftP50Seconds * 1e3, 2),
+             commaString(m.stats.ttftP95Seconds * 1e3, 2),
+             commaString(m.stats.latencyP95Seconds * 1e3, 2)});
+        measurements.push_back(std::move(m));
+    }
+    table.print();
+    return measurements;
+}
+
+void
+writeJson(const std::string &json_path, const TransformerConfig &cfg,
+          std::size_t requests, std::size_t prompt_tokens,
+          const std::vector<Measurement> &measurements)
+{
+    std::FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return;
+    }
+    std::fprintf(f,
+                 "{\n  \"model\": \"%s\",\n  \"requests\": %zu,\n"
+                 "  \"prompt_tokens\": %zu,\n  \"threads\": 1,\n"
+                 "  \"configs\": [\n",
+                 cfg.name.c_str(), requests, prompt_tokens);
+    double base_ref = 0.0, base_hw = 0.0;
+    for (std::size_t i = 0; i < measurements.size(); ++i) {
+        const Measurement &m = measurements[i];
+        double &base = m.path == "reference" ? base_ref : base_hw;
+        if (m.slots == 1)
+            base = m.stats.aggregateTokensPerSecond;
+        std::fprintf(
+            f,
+            "    {\"path\": \"%s\", \"slots\": %zu, "
+            "\"aggregate_tokens_per_s\": %.3f, "
+            "\"speedup_vs_slots1\": %.3f, \"metrics\": %s}%s\n",
+            m.path.c_str(), m.slots,
+            m.stats.aggregateTokensPerSecond,
+            base > 0.0 ? m.stats.aggregateTokensPerSecond / base : 0.0,
+            m.metricsJson.c_str(),
+            i + 1 < measurements.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu configs)\n", json_path.c_str(),
+                measurements.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace hnlpu;
+
+    const std::size_t decode_ref =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 24;
+    const std::size_t decode_hw =
+        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 12;
+    const std::size_t requests =
+        argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 8;
+    const std::string json_path =
+        argc > 4 ? argv[4] : "BENCH_serving.json";
+    const std::size_t prompt_tokens = 4;
+
+    const TransformerConfig cfg = scaledGptOssBlock();
+    bench::banner("Continuous-batching serving throughput (" +
+                  cfg.name + ")");
+    std::printf("hidden %zu, %zu experts (top-%zu), vocab %zu; "
+                "%zu requests, prompt %zu\n",
+                cfg.hiddenSize, cfg.expertCount, cfg.activeExperts,
+                cfg.vocabSize, requests, prompt_tokens);
+
+    const ModelWeights weights = ModelWeights::randomInit(cfg, 7);
+
+    std::vector<Measurement> all;
+    auto append = [&all](std::vector<Measurement> ms) {
+        for (auto &m : ms)
+            all.push_back(std::move(m));
+    };
+    append(reportPath("Reference path (batched float GEMM)", cfg,
+                      weights, ExecPath::Reference, requests,
+                      prompt_tokens, decode_ref));
+    append(reportPath("Hardwired path, Packed kernel (batched "
+                      "region-mask GEMM)",
+                      cfg, weights, ExecPath::Hardwired, requests,
+                      prompt_tokens, decode_hw));
+
+    writeJson(json_path, cfg, requests, prompt_tokens, all);
+    return 0;
+}

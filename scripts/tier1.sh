@@ -36,6 +36,14 @@ echo "== tier-1: kernel tests under ThreadSanitizer =="
 cmake --build "$TSAN_DIR" -j --target test_hn_kernel
 (cd "$TSAN_DIR" && ctest --output-on-failure -L '^kernel$')
 
+echo "== tier-1: serving tests under ThreadSanitizer =="
+# The batched GEMM shares per-step read-only state (per-column
+# PackedPlanes, frozen KV caches) across row and (sequence, head)
+# workers; TSan proves the continuous-batching hot path is race-free
+# across batch sizes, kernels and thread counts.
+cmake --build "$TSAN_DIR" -j --target test_serving
+(cd "$TSAN_DIR" && ctest --output-on-failure -L '^serving$')
+
 echo "== tier-1: fault tests under AddressSanitizer =="
 cmake -B "$ASAN_DIR" -S . -DHNLPU_SANITIZE=address
 cmake --build "$ASAN_DIR" -j --target test_fault

@@ -1,5 +1,6 @@
 #include "hn/hn_array.hh"
 
+#include <algorithm>
 #include <mutex>
 #include <optional>
 
@@ -98,6 +99,73 @@ HnArray::gemvSerial(const std::vector<std::int64_t> &activations,
 }
 
 std::vector<std::int64_t>
+HnArray::gemmSerial(
+    const std::vector<std::vector<std::int64_t>> &activations,
+    unsigned width, HnActivity *activity, ThreadPool *pool,
+    HnKernel kernel, HnScratchArena *arena) const
+{
+    const std::size_t batch = activations.size();
+    std::vector<std::int64_t> out(neurons_.size() * batch);
+    if (batch == 0)
+        return out;
+    for (std::size_t b = 0; b < batch; ++b) {
+        hnlpu_assert(activations[b].size() == cols_,
+                     "batch column ", b, " size ", activations[b].size(),
+                     " != array cols ", cols_);
+    }
+
+    // Packed kernel: serialise every column exactly once; the planes
+    // are immutable for the lifetime of the GEMM and shared read-only
+    // by all row workers.
+    std::optional<HnScratchLease> lease;
+    std::vector<const PackedPlanes *> planes;
+    if (kernel == HnKernel::Packed) {
+        lease.emplace(arena);
+        auto &batch_planes = lease->get().batchPlanes;
+        if (batch_planes.size() < batch)
+            batch_planes.resize(batch);
+        planes.resize(batch);
+        for (std::size_t b = 0; b < batch; ++b) {
+            batch_planes[b].build(activations[b], width);
+            planes[b] = &batch_planes[b];
+        }
+    }
+
+    std::mutex activity_mutex;
+    parallelFor(pool, neurons_.size(),
+                [&](std::size_t begin, std::size_t end) {
+        HnActivity local;
+        HnActivity *local_ptr = activity ? &local : nullptr;
+        for (std::size_t r = begin; r < end; ++r) {
+            std::int64_t *row_out = out.data() + r * batch;
+            if (rowDead(r)) {
+                for (std::size_t b = 0; b < batch; ++b)
+                    row_out[b] = 0;
+            } else if (!planes.empty()) {
+                for (std::size_t b0 = 0; b0 < batch;
+                     b0 += kHnBatchChunk) {
+                    const std::size_t chunk =
+                        std::min(kHnBatchChunk, batch - b0);
+                    neurons_[r].computePackedBatch(planes.data() + b0,
+                                                   chunk, row_out + b0,
+                                                   local_ptr);
+                }
+            } else {
+                for (std::size_t b = 0; b < batch; ++b) {
+                    row_out[b] = neurons_[r].computeSerial(
+                        activations[b], width, local_ptr);
+                }
+            }
+        }
+        if (activity) {
+            std::lock_guard<std::mutex> lock(activity_mutex);
+            activity->add(local);
+        }
+    });
+    return out;
+}
+
+std::vector<std::int64_t>
 HnArray::gemvReference(const std::vector<std::int64_t> &activations) const
 {
     std::vector<std::int64_t> out(neurons_.size());
@@ -127,6 +195,33 @@ HnArray::gemvReal(const std::vector<double> &activations, unsigned width,
     const double scale = q.scale * 0.5;
     for (std::size_t i = 0; i < ints.size(); ++i)
         out[i] = static_cast<double>(ints[i]) * scale;
+    return out;
+}
+
+std::vector<std::vector<double>>
+HnArray::gemmReal(const std::vector<std::vector<double>> &activations,
+                  unsigned width, HnActivity *activity, ThreadPool *pool,
+                  HnKernel kernel, HnScratchArena *arena) const
+{
+    const std::size_t batch = activations.size();
+    std::vector<std::vector<std::int64_t>> ints(batch);
+    std::vector<double> scales(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        QuantizedVector q = quantizeSymmetric(activations[b], width);
+        ints[b] = std::move(q.values);
+        // Weights contribute 2*w, so fold the missing 1/2 into the
+        // per-column scale (same expression gemvReal uses).
+        scales[b] = q.scale * 0.5;
+    }
+    const std::vector<std::int64_t> flat =
+        gemmSerial(ints, width, activity, pool, kernel, arena);
+    std::vector<std::vector<double>> out(
+        batch, std::vector<double>(neurons_.size()));
+    for (std::size_t r = 0; r < neurons_.size(); ++r) {
+        for (std::size_t b = 0; b < batch; ++b)
+            out[b][r] =
+                static_cast<double>(flat[r * batch + b]) * scales[b];
+    }
     return out;
 }
 

@@ -86,6 +86,25 @@ class HnArray
         HnKernel kernel = HnKernel::Packed,
         HnScratchArena *arena = nullptr) const;
 
+    /**
+     * Batched integer GEMM: one weight-side traversal evaluated against
+     * @p activations.size() activation columns.  Returns a flat
+     * rows x batch buffer, result of column b for row r at
+     * [r * batch + b]; column b is bit-identical to
+     * gemvSerial(activations[b], ...) and @p activity accumulates the
+     * exact sum of the per-column counters.  With HnKernel::Packed the
+     * columns are serialised once into per-column PackedPlanes and each
+     * neuron row runs one region-mask traversal over all columns
+     * (chunks of kHnBatchChunk), amortising mask loads and region-walk
+     * overhead across the batch; Scalar evaluates column by column.
+     * Rows are still partitioned across @p pool workers.
+     */
+    std::vector<std::int64_t> gemmSerial(
+        const std::vector<std::vector<std::int64_t>> &activations,
+        unsigned width, HnActivity *activity = nullptr,
+        ThreadPool *pool = nullptr, HnKernel kernel = HnKernel::Packed,
+        HnScratchArena *arena = nullptr) const;
+
     /** Reference integer GEMV (oracle). */
     std::vector<std::int64_t> gemvReference(
         const std::vector<std::int64_t> &activations) const;
@@ -102,6 +121,20 @@ class HnArray
                                  ThreadPool *pool = nullptr,
                                  HnKernel kernel = HnKernel::Packed,
                                  HnScratchArena *arena = nullptr) const;
+
+    /**
+     * Batched real GEMM: every activation column is quantised with its
+     * own symmetric scale (exactly as gemvReal would alone, so column
+     * results are bit-identical to per-column gemvReal calls), the
+     * integer batch runs through gemmSerial's single weight traversal,
+     * and each column dequantises with its own scale.
+     * @return one output vector per activation column
+     */
+    std::vector<std::vector<double>> gemmReal(
+        const std::vector<std::vector<double>> &activations,
+        unsigned width = 8, HnActivity *activity = nullptr,
+        ThreadPool *pool = nullptr, HnKernel kernel = HnKernel::Packed,
+        HnScratchArena *arena = nullptr) const;
 
     const HardwiredNeuron &neuron(std::size_t row) const;
 

@@ -44,6 +44,13 @@ enum class HnKernel { Scalar, Packed };
 struct HnScratch
 {
     PackedPlanes planes;
+    /**
+     * One PackedPlanes per batch column for the batched GEMM path
+     * (HnArray::gemmSerial).  Grown on demand and never shrunk, so a
+     * recycled scratch keeps every column's word buffer across calls
+     * and steady-state batched decode allocates no plane memory.
+     */
+    std::vector<PackedPlanes> batchPlanes;
 };
 
 /**

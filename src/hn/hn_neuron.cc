@@ -144,6 +144,96 @@ HardwiredNeuron::computePacked(const PackedPlanes &planes,
     return total;
 }
 
+void
+HardwiredNeuron::computePackedBatch(const PackedPlanes *const *planes,
+                                    std::size_t batch, std::int64_t *out,
+                                    HnActivity *activity) const
+{
+    hnlpu_assert(batch >= 1 && batch <= kHnBatchChunk,
+                 "batch ", batch, " outside [1, ", kHnBatchChunk, "]");
+    const unsigned width = planes[0]->width();
+    for (std::size_t b = 0; b < batch; ++b) {
+        hnlpu_assert(planes[b]->laneCount() ==
+                         topology_.tmpl().inputCount,
+                     "activation count mismatch in batch column ", b);
+        hnlpu_assert(planes[b]->wordsPerPlane() == wordsPerPlane_,
+                     "packed plane geometry mismatch in batch column ",
+                     b);
+        hnlpu_assert(planes[b]->width() == width,
+                     "batch columns must share one width");
+    }
+
+    // Per-(column, bit) plane base pointers, hoisted once per neuron
+    // (width <= 63 by BitSerializer contract).
+    const std::uint64_t *plane_ptr[kHnBatchChunk][63];
+    for (std::size_t b = 0; b < batch; ++b) {
+        for (unsigned bit = 0; bit < width; ++bit)
+            plane_ptr[b][bit] = planes[b]->plane(bit);
+    }
+
+    const auto &twice = fp4TwiceValueTable();
+    for (std::size_t b = 0; b < batch; ++b)
+        out[b] = 0;
+    std::size_t popcount_bits = 0;
+
+    for (const RegionMask &region : regionMasks_) {
+        const std::uint64_t *mask = maskWords_.data() + region.wordOffset;
+        // One region accumulator per column, updated plane by plane in
+        // the same order computePacked uses, so every column's region
+        // sum (and final total) is the identical int64 value.
+        std::int64_t region_sum[kHnBatchChunk] = {0};
+        for (unsigned bit = 0; bit < width; ++bit) {
+            const std::int64_t weight = std::int64_t(1) << bit;
+            const std::int64_t signed_weight =
+                bit + 1 == width ? -weight : weight;
+            std::size_t b = 0;
+            // Four-column unroll: each mask word is loaded once and
+            // ANDed into four independent popcount chains, so the
+            // superscalar core overlaps what the one-column kernel
+            // serialises behind a single accumulator.
+            for (; b + 4 <= batch; b += 4) {
+                const std::uint64_t *p0 = plane_ptr[b + 0][bit];
+                const std::uint64_t *p1 = plane_ptr[b + 1][bit];
+                const std::uint64_t *p2 = plane_ptr[b + 2][bit];
+                const std::uint64_t *p3 = plane_ptr[b + 3][bit];
+                std::int64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+                for (std::size_t w = 0; w < wordsPerPlane_; ++w) {
+                    const std::uint64_t m = mask[w];
+                    c0 += std::popcount(p0[w] & m);
+                    c1 += std::popcount(p1[w] & m);
+                    c2 += std::popcount(p2[w] & m);
+                    c3 += std::popcount(p3[w] & m);
+                }
+                region_sum[b + 0] += signed_weight * c0;
+                region_sum[b + 1] += signed_weight * c1;
+                region_sum[b + 2] += signed_weight * c2;
+                region_sum[b + 3] += signed_weight * c3;
+            }
+            for (; b < batch; ++b) {
+                const std::uint64_t *plane = plane_ptr[b][bit];
+                std::int64_t count = 0;
+                for (std::size_t w = 0; w < wordsPerPlane_; ++w)
+                    count += std::popcount(plane[w] & mask[w]);
+                region_sum[b] += signed_weight * count;
+            }
+        }
+        for (std::size_t b = 0; b < batch; ++b)
+            out[b] += region_sum[b] * twice[region.code];
+        popcount_bits += std::size_t(width) * region.bits * batch;
+    }
+
+    if (activity) {
+        // Exactly batch single-column evaluations' worth of logical
+        // work: the host amortisation is wall-clock only, the modelled
+        // fabric still clocks every column through every plane.
+        const CsaTreeShape tree = csaTreeShape(regionMasks_.size());
+        activity->cycles += batch * bitSerialCycles(width, tree.depth);
+        activity->popcountBitOps += popcount_bits;
+        activity->multiplyOps += batch * regionMasks_.size();
+        activity->treeAddOps += batch * (tree.compressorCount + 1);
+    }
+}
+
 std::int64_t
 HardwiredNeuron::computeReference(
     const std::vector<std::int64_t> &activations) const

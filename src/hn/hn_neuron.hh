@@ -29,6 +29,14 @@
 
 namespace hnlpu {
 
+/**
+ * Maximum batch width one computePackedBatch() call accepts.  The
+ * kernel keeps one region accumulator and one plane-pointer row per
+ * column on the stack; callers with wider batches chunk their columns
+ * (HnArray::gemmSerial does).
+ */
+inline constexpr std::size_t kHnBatchChunk = 8;
+
 /** Per-evaluation activity counters used by the energy model. */
 struct HnActivity
 {
@@ -95,6 +103,28 @@ class HardwiredNeuron
      */
     std::int64_t computePacked(const PackedPlanes &planes,
                                HnActivity *activity = nullptr) const;
+
+    /**
+     * Evaluate the neuron against @p batch activation sets in ONE
+     * region-mask traversal (the batched-GEMM building block): each
+     * region's mask words are loaded once and applied to every
+     * column's planes, so the weight-side work (region walk, mask
+     * loads, per-plane sign/weight setup) is amortised across the
+     * batch the way the hardwired fabric amortises its single weight
+     * traversal across in-flight sequences.
+     *
+     * Column b's result is bit-identical to
+     * computePacked(*planes[b]) -- identical int64 additions in the
+     * identical order -- and the HnActivity counters accumulate the
+     * exact sum of the per-column counters (logical wires, as ever).
+     *
+     * All planes must share one width and this neuron's geometry;
+     * batch must be in [1, kHnBatchChunk].
+     * @param out receives batch results, out[b] for planes[b]
+     */
+    void computePackedBatch(const PackedPlanes *const *planes,
+                            std::size_t batch, std::int64_t *out,
+                            HnActivity *activity = nullptr) const;
 
     /** Same result via direct integer arithmetic (oracle). */
     std::int64_t computeReference(

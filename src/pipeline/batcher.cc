@@ -43,6 +43,15 @@ ContinuousBatcher::serve(const std::vector<Request> &requests)
         const Request &req = requests[i];
         hnlpu_assert(i == 0 || requests[i - 1].arrival <= req.arrival,
                      "requests must be sorted by arrival");
+        // A prompt-less request has no position to decode from -- the
+        // functional serving engine rejects it too (ServingEngine), so
+        // both schedulers agree on which traces are legal.  Zero decode
+        // tokens IS legal here: the request occupies its slot for
+        // prefill only and finish == firstToken (the serving engine's
+        // d-decode request maps onto decodeTokens == d - 1, so d == 1
+        // lands on this case).
+        hnlpu_assert(req.promptTokens > 0, "request ", i,
+                     " has no prompt tokens");
         const Seconds free_at = slot_free.top();
         slot_free.pop();
 

@@ -24,9 +24,10 @@ Engine::Engine(const TransformerConfig &cfg, const ModelWeights &weights,
 }
 
 KvCache
-Engine::makeCache() const
+Engine::makeCache(std::size_t max_tokens_hint) const
 {
-    return KvCache(cfg_.layerCount, cfg_.kvHeads, cfg_.headDim);
+    return KvCache(cfg_.layerCount, cfg_.kvHeads, cfg_.headDim,
+                   max_tokens_hint);
 }
 
 Vec
@@ -138,6 +139,197 @@ Engine::forwardHidden(std::size_t token_id, KvCache &cache)
     return rmsNorm(x, weights_.finalNormGain);
 }
 
+std::vector<Vec>
+Engine::attentionBatch(const BlockWeights &block,
+                       const std::vector<Vec> &x_norms, std::size_t layer,
+                       const std::vector<KvCache *> &caches)
+{
+    const std::size_t batch = x_norms.size();
+    const std::size_t head_dim = cfg_.headDim;
+    const std::size_t group = cfg_.gqaGroupSize();
+
+    HnActivity *act =
+        path_ == ExecPath::Hardwired ? &stats_.hnActivity : nullptr;
+    ThreadPool *pool = pool_.get();
+
+    std::vector<Vec> q_flat =
+        block.wq.forwardBatch(x_norms, path_, activationBits_, act, pool,
+                              exec_.kernel, &scratchArena_);
+    if (lora_) {
+        for (std::size_t s = 0; s < batch; ++s) {
+            const Vec dq = lora_->wq[layer].delta(x_norms[s]);
+            for (std::size_t i = 0; i < q_flat[s].size(); ++i)
+                q_flat[s][i] += dq[i];
+        }
+    }
+    const std::vector<Vec> k_flat =
+        block.wk.forwardBatch(x_norms, path_, activationBits_, act, pool,
+                              exec_.kernel, &scratchArena_);
+    const std::vector<Vec> v_flat =
+        block.wv.forwardBatch(x_norms, path_, activationBits_, act, pool,
+                              exec_.kernel, &scratchArena_);
+
+    // Per-sequence positions: each cache advances independently, so
+    // RoPE and the causal context length are per column.
+    std::vector<std::size_t> pos(batch);
+    std::vector<std::vector<Vec>> q_heads(batch);
+    for (std::size_t s = 0; s < batch; ++s) {
+        pos[s] = caches[s]->length();
+        q_heads[s].resize(cfg_.queryHeads);
+        for (std::size_t h = 0; h < cfg_.queryHeads; ++h) {
+            q_heads[s][h] = Vec(q_flat[s].begin() + h * head_dim,
+                                q_flat[s].begin() + (h + 1) * head_dim);
+            applyRope(q_heads[s][h], pos[s]);
+        }
+        std::vector<Vec> k_heads(cfg_.kvHeads), v_heads(cfg_.kvHeads);
+        for (std::size_t h = 0; h < cfg_.kvHeads; ++h) {
+            k_heads[h] = Vec(k_flat[s].begin() + h * head_dim,
+                             k_flat[s].begin() + (h + 1) * head_dim);
+            applyRope(k_heads[h], pos[s]);
+            v_heads[h] = Vec(v_flat[s].begin() + h * head_dim,
+                             v_flat[s].begin() + (h + 1) * head_dim);
+        }
+        caches[s]->append(layer, k_heads, v_heads);
+    }
+
+    // Flatten (sequence, head) across the pool: every pair reads its
+    // own (now frozen) cache and writes its own disjoint attn_out
+    // slice, so each sequence comes out bit-exactly as it would alone.
+    const double inv_sqrt_d = 1.0 / std::sqrt(double(head_dim));
+    std::vector<Vec> attn_out(batch, Vec(cfg_.queryHeads * head_dim,
+                                         0.0));
+    parallelFor(pool, batch * cfg_.queryHeads,
+                [&](std::size_t begin, std::size_t end) {
+        for (std::size_t idx = begin; idx < end; ++idx) {
+            const std::size_t s = idx / cfg_.queryHeads;
+            const std::size_t h = idx % cfg_.queryHeads;
+            const std::size_t kv_head = h / group;
+            const std::size_t context = pos[s] + 1;
+            Vec scores(context);
+            for (std::size_t t = 0; t < context; ++t) {
+                scores[t] =
+                    dot(q_heads[s][h], caches[s]->key(layer, kv_head, t)) *
+                    inv_sqrt_d;
+            }
+            const Vec probs = softmax(scores);
+            for (std::size_t t = 0; t < context; ++t) {
+                const Vec &v = caches[s]->value(layer, kv_head, t);
+                for (std::size_t d = 0; d < head_dim; ++d)
+                    attn_out[s][h * head_dim + d] += probs[t] * v[d];
+            }
+        }
+    });
+    std::vector<Vec> out =
+        block.wo.forwardBatch(attn_out, path_, activationBits_, act,
+                              pool, exec_.kernel, &scratchArena_);
+    if (lora_) {
+        for (std::size_t s = 0; s < batch; ++s) {
+            const Vec d_o = lora_->wo[layer].delta(attn_out[s]);
+            for (std::size_t i = 0; i < out[s].size(); ++i)
+                out[s][i] += d_o[i];
+        }
+    }
+    return out;
+}
+
+std::vector<Vec>
+Engine::forwardHiddenBatch(const std::vector<std::size_t> &tokens,
+                           const std::vector<KvCache *> &caches)
+{
+    const std::size_t batch = tokens.size();
+    hnlpu_assert(caches.size() == batch,
+                 "forwardTokenBatch: ", batch, " tokens vs ",
+                 caches.size(), " caches");
+    for (std::size_t s = 0; s < batch; ++s) {
+        hnlpu_assert(caches[s] != nullptr, "null cache for sequence ", s);
+        hnlpu_assert(tokens[s] < cfg_.vocabSize,
+                     "token id out of range for sequence ", s);
+        // Distinct caches: two columns appending into one cache would
+        // interleave positions.  Slot counts are small, so O(B^2) is
+        // fine.
+        for (std::size_t t = 0; t < s; ++t) {
+            hnlpu_assert(caches[t] != caches[s],
+                         "sequences ", t, " and ", s,
+                         " share one KV cache");
+        }
+    }
+
+    std::vector<Vec> x(batch);
+    for (std::size_t s = 0; s < batch; ++s)
+        x[s] = weights_.embedding.row(tokens[s]);
+
+    for (std::size_t layer = 0; layer < cfg_.layerCount; ++layer) {
+        const BlockWeights &block = weights_.blocks[layer];
+
+        std::vector<Vec> attn_in(batch);
+        for (std::size_t s = 0; s < batch; ++s)
+            attn_in[s] = rmsNorm(x[s], block.attnNormGain);
+        const std::vector<Vec> attn =
+            attentionBatch(block, attn_in, layer, caches);
+        for (std::size_t s = 0; s < batch; ++s)
+            x[s] = add(x[s], attn[s]);
+
+        std::vector<Vec> ffn_in(batch);
+        for (std::size_t s = 0; s < batch; ++s)
+            ffn_in[s] = rmsNorm(x[s], block.ffnNormGain);
+        std::vector<std::vector<std::size_t>> selected;
+        const std::vector<Vec> ffn =
+            block.ffn.forwardBatch(ffn_in, path_, activationBits_,
+                                   &selected, pool_.get(), exec_.kernel,
+                                   &scratchArena_);
+        for (std::size_t s = 0; s < batch; ++s) {
+            for (std::size_t e : selected[s])
+                stats_.expertHistogram[e]++;
+            x[s] = add(x[s], ffn[s]);
+        }
+    }
+
+    stats_.tokensProcessed += batch;
+    for (std::size_t s = 0; s < batch; ++s)
+        x[s] = rmsNorm(x[s], weights_.finalNormGain);
+    return x;
+}
+
+std::vector<Vec>
+Engine::forwardTokenBatch(const std::vector<std::size_t> &tokens,
+                          const std::vector<KvCache *> &caches,
+                          const std::vector<std::uint8_t> &want_logits)
+{
+    const std::size_t batch = tokens.size();
+    hnlpu_assert(want_logits.empty() || want_logits.size() == batch,
+                 "want_logits size mismatch");
+    if (batch == 0)
+        return {};
+    std::vector<Vec> hidden = forwardHiddenBatch(tokens, caches);
+
+    // Only the sequences that asked for logits pay for the vocab-sized
+    // unembedding (prefill tokens before the last skip it, exactly as
+    // generate() does sequentially).
+    std::vector<std::size_t> want;
+    for (std::size_t s = 0; s < batch; ++s) {
+        if (want_logits.empty() || want_logits[s] != 0)
+            want.push_back(s);
+    }
+    std::vector<Vec> out(batch);
+    if (want.empty())
+        return out;
+
+    std::vector<Vec> want_hidden;
+    want_hidden.reserve(want.size());
+    for (std::size_t s : want)
+        want_hidden.push_back(std::move(hidden[s]));
+    HnActivity *act =
+        path_ == ExecPath::Hardwired ? &stats_.hnActivity : nullptr;
+    std::vector<Vec> logits =
+        weights_.unembedding.forwardBatch(want_hidden, path_,
+                                          activationBits_, act,
+                                          pool_.get(), exec_.kernel,
+                                          &scratchArena_);
+    for (std::size_t i = 0; i < want.size(); ++i)
+        out[want[i]] = std::move(logits[i]);
+    return out;
+}
+
 Vec
 Engine::forwardToken(std::size_t token_id, KvCache &cache)
 {
@@ -173,7 +365,7 @@ Engine::scoreSequence(const std::vector<std::size_t> &tokens)
                      "scoreSequence token ", i, " id ", tokens[i],
                      " out of vocab range ", cfg_.vocabSize);
     }
-    KvCache cache = makeCache();
+    KvCache cache = makeCache(tokens.size());
     double total_logprob = 0.0;
     // Every forward here produces logits that ARE consumed (scoring the
     // next token), so unlike generate()'s prefill there is no unused
@@ -193,7 +385,7 @@ Vec
 Engine::embedSequence(const std::vector<std::size_t> &tokens)
 {
     hnlpu_assert(!tokens.empty(), "embedding needs tokens");
-    KvCache cache = makeCache();
+    KvCache cache = makeCache(tokens.size());
     Vec hidden;
     for (std::size_t token : tokens)
         hidden = forwardHidden(token, cache);
@@ -204,8 +396,14 @@ std::vector<std::size_t>
 Engine::generate(const std::vector<std::size_t> &prompt,
                  std::size_t decode_steps, Sampler &sampler)
 {
-    hnlpu_assert(!prompt.empty(), "empty prompt");
-    KvCache cache = makeCache();
+    hnlpu_assert(!prompt.empty(),
+                 "generate needs a non-empty prompt: there is no "
+                 "position to decode from otherwise");
+    // Zero decode steps is a legal no-op: nothing would consume the
+    // prefill, so skip the model entirely (stats stay untouched).
+    if (decode_steps == 0)
+        return {};
+    KvCache cache = makeCache(prompt.size() + decode_steps);
 
     // Prefill: only the last prompt token's logits feed the sampler, so
     // every earlier token skips the vocab-sized unembedding GEMV (by

@@ -44,6 +44,13 @@ struct ExecOptions
      * activity counters either way (tests/test_hn_kernel.cc).
      */
     HnKernel kernel = HnKernel::Packed;
+    /**
+     * Default decode-slot count for the continuous-batching serving
+     * layer (ServingEngine reads this when constructed without an
+     * explicit slot count).  1 == sequential serving.  Does not affect
+     * single-sequence Engine entry points.
+     */
+    std::size_t batchSlots = 1;
 };
 
 /** Aggregate statistics of a generation run. */
@@ -72,16 +79,46 @@ class Engine
     Vec forwardToken(std::size_t token_id, KvCache &cache);
 
     /**
+     * Run one token from each of several sequences through the model as
+     * a single batched pass: every weight-bearing projection traverses
+     * its weights once for the whole batch (Linear::forwardBatch), and
+     * attention flattens (sequence, head) pairs across the pool.
+     * Sequence s is bit-identical to forwardToken(tokens[s], *caches[s])
+     * run alone, and stats accumulate the exact sum of the per-sequence
+     * single-token runs (tests/test_serving.cc pins both).
+     *
+     * @param tokens one token id per sequence
+     * @param caches one distinct cache per sequence (appended in place);
+     *        sequences may sit at different positions
+     * @param want_logits per-sequence flag; sequences with a zero flag
+     *        skip the vocab-sized unembedding GEMM (their result slot is
+     *        an empty Vec).  Empty means "all sequences want logits".
+     *        The serving engine clears it for non-final prefill tokens.
+     * @return per-sequence unembedding logits (empty Vec when skipped)
+     */
+    std::vector<Vec> forwardTokenBatch(
+        const std::vector<std::size_t> &tokens,
+        const std::vector<KvCache *> &caches,
+        const std::vector<std::uint8_t> &want_logits = {});
+
+    /**
      * Prefill @p prompt then autoregressively decode @p decode_steps
-     * tokens with @p sampler.
+     * tokens with @p sampler.  The prompt must be non-empty (there is
+     * no position to decode from otherwise -- fatal).  decode_steps ==
+     * 0 returns an empty vector without executing the model at all (no
+     * prefill, no stats, no sampler draw).
      * @return the generated token ids (decode only, prompt excluded)
      */
     std::vector<std::size_t> generate(
         const std::vector<std::size_t> &prompt, std::size_t decode_steps,
         Sampler &sampler);
 
-    /** Fresh KV cache matching this model. */
-    KvCache makeCache() const;
+    /**
+     * Fresh KV cache matching this model.
+     * @param max_tokens_hint expected sequence length, forwarded to
+     *        KvCache so appends within the hint never reallocate
+     */
+    KvCache makeCache(std::size_t max_tokens_hint = 0) const;
 
     /**
      * Attach LoRA side-channel adapters for the attention projections
@@ -114,6 +151,17 @@ class Engine
 
     /** Shared body: run one token, return the final-norm hidden. */
     Vec forwardHidden(std::size_t token_id, KvCache &cache);
+
+    /** Batched attention: one sequence per column, per-seq positions. */
+    std::vector<Vec> attentionBatch(const BlockWeights &block,
+                                    const std::vector<Vec> &x_norms,
+                                    std::size_t layer,
+                                    const std::vector<KvCache *> &caches);
+
+    /** Batched body: one token per sequence, final-norm hiddens out. */
+    std::vector<Vec> forwardHiddenBatch(
+        const std::vector<std::size_t> &tokens,
+        const std::vector<KvCache *> &caches);
 
     TransformerConfig cfg_;
     const ModelWeights &weights_;

@@ -5,13 +5,28 @@
 namespace hnlpu {
 
 KvCache::KvCache(std::size_t layers, std::size_t kv_heads,
-                 std::size_t head_dim)
+                 std::size_t head_dim, std::size_t max_tokens_hint)
     : kvHeads_(kv_heads), headDim_(head_dim),
       keys_(layers, std::vector<std::vector<Vec>>(kv_heads)),
       values_(layers, std::vector<std::vector<Vec>>(kv_heads))
 {
     hnlpu_assert(layers > 0 && kv_heads > 0 && head_dim > 0,
                  "bad KV cache shape");
+    if (max_tokens_hint > 0)
+        reserveTokens(max_tokens_hint);
+}
+
+void
+KvCache::reserveTokens(std::size_t max_tokens)
+{
+    // vector::reserve never shrinks, so this cannot invalidate
+    // references that an earlier, larger reservation made stable.
+    for (std::size_t l = 0; l < keys_.size(); ++l) {
+        for (std::size_t h = 0; h < kvHeads_; ++h) {
+            keys_[l][h].reserve(max_tokens);
+            values_[l][h].reserve(max_tokens);
+        }
+    }
 }
 
 void

@@ -24,9 +24,22 @@ class KvCache
      * @param layers transformer block count
      * @param kv_heads KV heads per layer
      * @param head_dim per-head dimension
+     * @param max_tokens_hint expected sequence length; when non-zero,
+     *        every per-(layer, head) token list reserves this capacity
+     *        up front so appends within the hint never reallocate --
+     *        references returned by key()/value() stay valid across
+     *        them.  Appending past the hint is legal but may
+     *        reallocate and invalidate outstanding references.
      */
     KvCache(std::size_t layers, std::size_t kv_heads,
-            std::size_t head_dim);
+            std::size_t head_dim, std::size_t max_tokens_hint = 0);
+
+    /**
+     * Reserve capacity for @p max_tokens tokens (no-op if already at or
+     * above); same reference-stability guarantee as the constructor
+     * hint.  Must not shrink: existing tokens are untouched.
+     */
+    void reserveTokens(std::size_t max_tokens);
 
     /** Append one token's keys/values for a layer (kv_heads vectors). */
     void append(std::size_t layer, const std::vector<Vec> &keys,

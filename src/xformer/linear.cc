@@ -93,6 +93,75 @@ Linear::forward(const Vec &x, ExecPath path, unsigned activation_bits,
     return y;
 }
 
+std::vector<Vec>
+Linear::forwardBatch(const std::vector<Vec> &xs, ExecPath path,
+                     unsigned activation_bits, HnActivity *activity,
+                     ThreadPool *pool, HnKernel kernel,
+                     HnScratchArena *arena) const
+{
+    const std::size_t batch = xs.size();
+    if (batch == 0)
+        return {};
+    for (std::size_t b = 0; b < batch; ++b) {
+        hnlpu_assert(xs[b].size() == inDim_,
+                     "batch column ", b, " input size mismatch: ",
+                     xs[b].size(), " vs ", inDim_);
+    }
+    if (batch == 1) {
+        std::vector<Vec> ys(1);
+        ys[0] = forward(xs[0], path, activation_bits, activity, pool,
+                        kernel, arena);
+        return ys;
+    }
+    if (path == ExecPath::Hardwired) {
+        return hardwired().gemmReal(xs, activation_bits, activity, pool,
+                                    kernel, arena);
+    }
+
+    std::vector<Vec> ys(batch, Vec(outDim_, 0.0));
+    const auto &values = fp4ValueTable();
+    parallelFor(pool, outDim_, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+            const Fp4 *row = weights_.data() + r * inDim_;
+            std::size_t b = 0;
+            // Four-column unroll: each weight is dequantised once and
+            // multiplied into four independent accumulator chains.
+            // Column b's multiply/add sequence is unchanged from
+            // forward(), so the doubles come out bit-identical.
+            for (; b + 4 <= batch; b += 4) {
+                const double *x0 = xs[b + 0].data();
+                const double *x1 = xs[b + 1].data();
+                const double *x2 = xs[b + 2].data();
+                const double *x3 = xs[b + 3].data();
+                double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+                for (std::size_t c = 0; c < inDim_; ++c) {
+                    const double w = values[row[c].code()];
+                    a0 += w * x0[c];
+                    a1 += w * x1[c];
+                    a2 += w * x2[c];
+                    a3 += w * x3[c];
+                }
+                ys[b + 0][r] = a0;
+                ys[b + 1][r] = a1;
+                ys[b + 2][r] = a2;
+                ys[b + 3][r] = a3;
+            }
+            for (; b < batch; ++b) {
+                double acc = 0.0;
+                const double *x = xs[b].data();
+                for (std::size_t c = 0; c < inDim_; ++c)
+                    acc += values[row[c].code()] * x[c];
+                ys[b][r] = acc;
+            }
+        }
+    });
+    for (std::uint32_t r : deadRows_) {
+        for (std::size_t b = 0; b < batch; ++b)
+            ys[b][r] = 0.0;
+    }
+    return ys;
+}
+
 double
 Linear::weightValue(std::size_t row, std::size_t col) const
 {

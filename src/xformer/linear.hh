@@ -73,6 +73,24 @@ class Linear
                 HnKernel kernel = HnKernel::Packed,
                 HnScratchArena *arena = nullptr) const;
 
+    /**
+     * Batched y_b = W x_b: one weight-side traversal serves every
+     * input column (HnArray::gemmSerial on the hardwired path; on the
+     * reference path each weight row is loaded once and multiplied
+     * into per-column accumulators).  Column b is bit-identical to
+     * forward(xs[b], ...) on both paths -- the batched engine and the
+     * serving layer rely on this to keep batched decode bit-exact with
+     * sequential decode (tests/test_serving.cc).  @p activity
+     * accumulates the exact sum of per-column counters.
+     */
+    std::vector<Vec> forwardBatch(const std::vector<Vec> &xs,
+                                  ExecPath path,
+                                  unsigned activation_bits = 8,
+                                  HnActivity *activity = nullptr,
+                                  ThreadPool *pool = nullptr,
+                                  HnKernel kernel = HnKernel::Packed,
+                                  HnScratchArena *arena = nullptr) const;
+
     std::size_t outDim() const { return outDim_; }
     std::size_t inDim() const { return inDim_; }
 

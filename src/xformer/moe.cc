@@ -1,5 +1,7 @@
 #include "xformer/moe.hh"
 
+#include <utility>
+
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "xformer/ops.hh"
@@ -94,6 +96,112 @@ MoeLayer::forward(const Vec &x_norm, ExecPath path,
     for (std::size_t i = 0; i < chosen.size(); ++i) {
         for (std::size_t d = 0; d < out.size(); ++d)
             out[d] += gate_weights[i] * expert_outs[i][d];
+    }
+    return out;
+}
+
+std::vector<Vec>
+MoeLayer::forwardBatch(const std::vector<Vec> &xs, ExecPath path,
+                       unsigned activation_bits,
+                       std::vector<std::vector<std::size_t>> *selected,
+                       ThreadPool *pool, HnKernel kernel,
+                       HnScratchArena *arena) const
+{
+    const std::size_t batch = xs.size();
+    if (selected)
+        selected->assign(batch, {});
+    if (batch == 0)
+        return {};
+    if (batch == 1) {
+        std::vector<Vec> out(1);
+        out[0] = forward(xs[0], path, activation_bits,
+                         selected ? &(*selected)[0] : nullptr, pool,
+                         kernel, arena);
+        return out;
+    }
+
+    // Route every token independently; the batched router column is
+    // bit-identical to the single-token router call, so top-k picks
+    // and gate weights match forward() exactly.
+    std::vector<std::vector<std::size_t>> chosen(batch);
+    std::vector<Vec> gates(batch);
+    if (isDense_ || experts_.size() == 1) {
+        for (std::size_t t = 0; t < batch; ++t) {
+            chosen[t] = {0};
+            gates[t] = {1.0};
+        }
+    } else {
+        const std::vector<Vec> logits =
+            router_.forwardBatch(xs, ExecPath::Reference);
+        for (std::size_t t = 0; t < batch; ++t) {
+            chosen[t] = topK(logits[t], activeExperts_);
+            Vec selected_logits(chosen[t].size());
+            for (std::size_t i = 0; i < chosen[t].size(); ++i)
+                selected_logits[i] = logits[t][chosen[t][i]];
+            gates[t] = softmax(selected_logits);
+        }
+    }
+    if (selected)
+        *selected = chosen;
+
+    // Group (token, routing position) pairs by expert so each chosen
+    // expert's projections traverse their weights once for every token
+    // that routed to it.
+    std::vector<std::vector<std::pair<std::size_t, std::size_t>>>
+        groups(experts_.size());
+    for (std::size_t t = 0; t < batch; ++t) {
+        for (std::size_t i = 0; i < chosen[t].size(); ++i)
+            groups[chosen[t][i]].emplace_back(t, i);
+    }
+    std::vector<std::size_t> active;
+    for (std::size_t e = 0; e < experts_.size(); ++e) {
+        if (!groups[e].empty())
+            active.push_back(e);
+    }
+
+    // expert_outs[t][i] holds expert chosen[t][i]'s output for token t.
+    // Groups fill disjoint slots, so they may run on pool workers; the
+    // combine below still walks each token's routing order serially,
+    // keeping the accumulation order -- and the doubles -- identical to
+    // per-token forward().
+    std::vector<std::vector<Vec>> expert_outs(batch);
+    for (std::size_t t = 0; t < batch; ++t)
+        expert_outs[t].resize(chosen[t].size());
+
+    parallelFor(pool, active.size(),
+                [&](std::size_t begin, std::size_t end) {
+        for (std::size_t g = begin; g < end; ++g) {
+            const std::size_t e = active[g];
+            const auto &members = groups[e];
+            const Expert &ex = experts_[e];
+            std::vector<Vec> inputs(members.size());
+            for (std::size_t m = 0; m < members.size(); ++m)
+                inputs[m] = xs[members[m].first];
+            const std::vector<Vec> up =
+                ex.up.forwardBatch(inputs, path, activation_bits,
+                                   nullptr, nullptr, kernel, arena);
+            const std::vector<Vec> gate =
+                ex.gate.forwardBatch(inputs, path, activation_bits,
+                                     nullptr, nullptr, kernel, arena);
+            std::vector<Vec> activated(members.size());
+            for (std::size_t m = 0; m < members.size(); ++m)
+                activated[m] = swiGlu(gate[m], up[m]);
+            std::vector<Vec> down =
+                ex.down.forwardBatch(activated, path, activation_bits,
+                                     nullptr, nullptr, kernel, arena);
+            for (std::size_t m = 0; m < members.size(); ++m) {
+                expert_outs[members[m].first][members[m].second] =
+                    std::move(down[m]);
+            }
+        }
+    });
+
+    std::vector<Vec> out(batch, Vec(experts_[0].down.outDim(), 0.0));
+    for (std::size_t t = 0; t < batch; ++t) {
+        for (std::size_t i = 0; i < chosen[t].size(); ++i) {
+            for (std::size_t d = 0; d < out[t].size(); ++d)
+                out[t][d] += gates[t][i] * expert_outs[t][i][d];
+        }
     }
     return out;
 }

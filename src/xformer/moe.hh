@@ -61,6 +61,25 @@ class MoeLayer
                 HnKernel kernel = HnKernel::Packed,
                 HnScratchArena *arena = nullptr) const;
 
+    /**
+     * Batched forward: every token routes independently (batched
+     * reference router, per-token top-k), then tokens that chose the
+     * same expert are grouped so that expert's up/gate/down
+     * projections traverse their weights once for the whole group
+     * (Linear::forwardBatch).  Token t's output is bit-identical to
+     * forward(xs[t], ...): per-column projection exactness plus a
+     * combine that still runs in each token's own routing order.
+     * @param selected optional per-token chosen expert indices
+     * @param pool optional pool; expert groups evaluate in parallel
+     *        into disjoint buffers (bit-exact vs serial)
+     */
+    std::vector<Vec> forwardBatch(
+        const std::vector<Vec> &xs, ExecPath path,
+        unsigned activation_bits = 8,
+        std::vector<std::vector<std::size_t>> *selected = nullptr,
+        ThreadPool *pool = nullptr, HnKernel kernel = HnKernel::Packed,
+        HnScratchArena *arena = nullptr) const;
+
     std::size_t expertCount() const { return experts_.size(); }
     std::size_t activeExperts() const { return activeExperts_; }
 

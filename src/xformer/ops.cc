@@ -26,10 +26,18 @@ rmsNorm(const Vec &x, const Vec &gain, double eps)
 Vec
 softmax(const Vec &logits)
 {
+    Vec out;
+    softmaxInto(logits, out);
+    return out;
+}
+
+void
+softmaxInto(const Vec &logits, Vec &out)
+{
     hnlpu_assert(!logits.empty(), "softmax of empty vector");
     const double max_logit = *std::max_element(logits.begin(),
                                                logits.end());
-    Vec out(logits.size());
+    out.resize(logits.size());
     double total = 0.0;
     for (std::size_t i = 0; i < logits.size(); ++i) {
         out[i] = std::exp(logits[i] - max_logit);
@@ -37,7 +45,6 @@ softmax(const Vec &logits)
     }
     for (double &v : out)
         v /= total;
-    return out;
 }
 
 double

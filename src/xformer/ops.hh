@@ -20,6 +20,13 @@ Vec rmsNorm(const Vec &x, const Vec &gain, double eps = 1e-5);
 Vec softmax(const Vec &logits);
 
 /**
+ * softmax(@p logits) written into @p out (resized to match).  Same
+ * arithmetic as softmax(); lets hot paths reuse one scratch vector
+ * instead of allocating per call (src/xformer/sampler.cc).
+ */
+void softmaxInto(const Vec &logits, Vec &out);
+
+/**
  * Numerically stable log(sum_i exp(logits[i])) (max-shifted).  With it,
  * log softmax(logits)[t] == logits[t] - logSumExp(logits) without ever
  * materialising a probability that could underflow to 0.

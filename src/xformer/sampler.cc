@@ -1,6 +1,7 @@
 #include "xformer/sampler.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 #include "xformer/ops.hh"
@@ -17,31 +18,38 @@ std::size_t
 Sampler::sample(const Vec &logits)
 {
     hnlpu_assert(!logits.empty(), "sampling from empty logits");
+    // Reject NaN before any comparison-based scan: NaN compares false
+    // against everything, so max_element/topK over NaN-bearing logits
+    // would pick whatever the scan order happens to favour.
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        hnlpu_assert(!std::isnan(logits[i]), "NaN logit at index ", i);
+    }
     if (cfg_.temperature == 0.0) {
         return static_cast<std::size_t>(
             std::max_element(logits.begin(), logits.end()) -
             logits.begin());
     }
 
-    Vec scaled(logits.size());
+    // Member scratch: resize() reuses capacity, so after the first
+    // token the temperature path performs no vocab-sized allocations.
+    scaled_.resize(logits.size());
     for (std::size_t i = 0; i < logits.size(); ++i)
-        scaled[i] = logits[i] / cfg_.temperature;
+        scaled_[i] = logits[i] / cfg_.temperature;
 
-    std::vector<std::size_t> candidates;
     if (cfg_.topK > 0 && cfg_.topK < logits.size()) {
-        candidates = topK(scaled, cfg_.topK);
+        candidates_ = topK(scaled_, cfg_.topK);
     } else {
-        candidates.resize(logits.size());
+        candidates_.resize(logits.size());
         for (std::size_t i = 0; i < logits.size(); ++i)
-            candidates[i] = i;
+            candidates_[i] = i;
     }
 
-    Vec candidate_logits(candidates.size());
-    for (std::size_t i = 0; i < candidates.size(); ++i)
-        candidate_logits[i] = scaled[candidates[i]];
-    const Vec probs = softmax(candidate_logits);
-    const std::size_t pick = rng_.weightedIndex(probs);
-    return candidates[pick];
+    candidateLogits_.resize(candidates_.size());
+    for (std::size_t i = 0; i < candidates_.size(); ++i)
+        candidateLogits_[i] = scaled_[candidates_[i]];
+    softmaxInto(candidateLogits_, probs_);
+    const std::size_t pick = rng_.weightedIndex(probs_);
+    return candidates_[pick];
 }
 
 } // namespace hnlpu

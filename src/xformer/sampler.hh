@@ -22,13 +22,22 @@ struct SamplerConfig
     std::size_t topK = 0;
 };
 
-/** Draws token ids from logits. */
+/**
+ * Draws token ids from logits.
+ *
+ * A Sampler is per-sequence state (its RNG stream advances one draw per
+ * sampled token), so the serving engine holds one per active request.
+ * sample() rejects NaN logits up front: NaN compares false against
+ * everything, so an argmax over NaN-bearing logits would depend on the
+ * scan order and silently break the bit-exactness contract between
+ * execution paths.
+ */
 class Sampler
 {
   public:
     Sampler(SamplerConfig cfg, std::uint64_t seed);
 
-    /** Sample the next token id from raw logits. */
+    /** Sample the next token id from raw logits (fatal on NaN). */
     std::size_t sample(const Vec &logits);
 
     const SamplerConfig &config() const { return cfg_; }
@@ -36,6 +45,15 @@ class Sampler
   private:
     SamplerConfig cfg_;
     Rng rng_;
+    /**
+     * Scratch reused across sample() calls so the temperature path is
+     * allocation-free after the first token (these are vocab-sized --
+     * reallocating them per token dominated the sampling cost).
+     */
+    Vec scaled_;
+    Vec candidateLogits_;
+    Vec probs_;
+    std::vector<std::size_t> candidates_;
 };
 
 } // namespace hnlpu

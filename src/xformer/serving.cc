@@ -1,0 +1,262 @@
+#include "xformer/serving.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace hnlpu {
+
+namespace {
+
+/** Nearest-rank percentile (q in (0, 1]) of @p values. */
+double
+percentile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    std::size_t rank =
+        static_cast<std::size_t>(std::ceil(q * double(values.size())));
+    if (rank > 0)
+        --rank;
+    return values[std::min(values.size() - 1, rank)];
+}
+
+} // namespace
+
+ServingEngine::ServingEngine(Engine &engine, std::size_t slots)
+    : engine_(engine),
+      slots_(slots != 0 ? slots : engine.execOptions().batchSlots)
+{
+    hnlpu_assert(slots_ >= 1, "serving engine needs at least one slot");
+}
+
+std::size_t
+ServingEngine::enqueue(ServingRequest request)
+{
+    hnlpu_assert(!request.prompt.empty(),
+                 "serving request needs a non-empty prompt");
+    hnlpu_assert(request.decodeTokens >= 1,
+                 "serving request must decode at least one token");
+    for (std::size_t i = 0; i < request.prompt.size(); ++i) {
+        hnlpu_assert(request.prompt[i] < engine_.config().vocabSize,
+                     "prompt token ", i, " id ", request.prompt[i],
+                     " out of vocab range ",
+                     engine_.config().vocabSize);
+    }
+    hnlpu_assert(queue_.empty() ||
+                     queue_.back().arrivalStep <= request.arrivalStep,
+                 "requests must be enqueued in arrival order (got step ",
+                 request.arrivalStep, " after ",
+                 queue_.back().arrivalStep, ")");
+    queue_.push_back(std::move(request));
+    return nextId_++;
+}
+
+std::vector<ServingOutcome>
+ServingEngine::run()
+{
+    const std::size_t n = queue_.size();
+    const std::size_t base_id = nextId_ - n;
+    outcomes_.assign(n, ServingOutcome{});
+    stats_ = ServingStats{};
+    stats_.slots = slots_;
+    stats_.requests = n;
+    if (n == 0)
+        return {};
+    for (std::size_t i = 0; i < n; ++i) {
+        outcomes_[i].id = base_id + i;
+        outcomes_[i].arrivalStep = queue_[i].arrivalStep;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto elapsed = [&t0] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    std::vector<Slot> slots(slots_);
+    std::size_t next = 0;     // next queue index to admit (FIFO)
+    std::size_t finished = 0;
+    std::size_t step = 0;
+    /** step_wall[t] = elapsed seconds when step t began. */
+    std::vector<double> step_wall;
+
+    std::vector<std::size_t> tokens;
+    std::vector<KvCache *> caches;
+    std::vector<std::uint8_t> want;
+    std::vector<std::size_t> slot_index;
+
+    while (finished < n) {
+        // All slots idle and the next request is in the future: jump
+        // the step clock to its arrival (the skipped steps take no wall
+        // time -- there is nothing to execute).
+        bool any_busy = false;
+        for (const Slot &slot : slots)
+            any_busy = any_busy || slot.busy;
+        if (!any_busy) {
+            hnlpu_assert(next < n, "serving run stalled with ",
+                         n - finished, " unfinished requests");
+            const double now = elapsed();
+            while (step < queue_[next].arrivalStep) {
+                step_wall.push_back(now);
+                ++step;
+            }
+        }
+        step_wall.push_back(elapsed());
+
+        // Admit arrived requests into free slots, FIFO.  A slot freed
+        // at finishStep f is re-admissible at step f, matching
+        // ContinuousBatcher's slot_free bookkeeping exactly.
+        for (Slot &slot : slots) {
+            if (slot.busy)
+                continue;
+            if (next >= n || queue_[next].arrivalStep > step)
+                break;
+            const ServingRequest &req = queue_[next];
+            slot.busy = true;
+            slot.request = next;
+            slot.fed = 0;
+            slot.cache.emplace(engine_.makeCache(req.prompt.size() +
+                                                 req.decodeTokens));
+            slot.sampler.emplace(req.sampler, req.seed);
+            outcomes_[next].admitStep = step;
+            ++next;
+        }
+
+        // One token per busy slot: prompt tokens while prefilling, the
+        // previously sampled token while decoding.  Logits are only
+        // requested for forwards whose output feeds the sampler (the
+        // last prefill token and every decode token), so early prefill
+        // skips the vocab-sized unembedding just like Engine::generate.
+        tokens.clear();
+        caches.clear();
+        want.clear();
+        slot_index.clear();
+        for (std::size_t s = 0; s < slots.size(); ++s) {
+            Slot &slot = slots[s];
+            if (!slot.busy)
+                continue;
+            const ServingRequest &req = queue_[slot.request];
+            const ServingOutcome &out = outcomes_[slot.request];
+            const std::size_t p = req.prompt.size();
+            tokens.push_back(slot.fed < p ? req.prompt[slot.fed]
+                                          : out.tokens.back());
+            caches.push_back(&*slot.cache);
+            want.push_back(slot.fed + 1 >= p ? 1 : 0);
+            slot_index.push_back(s);
+        }
+        hnlpu_assert(!tokens.empty(), "serving step with no busy slot");
+        const std::vector<Vec> logits =
+            engine_.forwardTokenBatch(tokens, caches, want);
+        stats_.forwards += tokens.size();
+        ++stats_.executedSteps;
+
+        for (std::size_t c = 0; c < slot_index.size(); ++c) {
+            Slot &slot = slots[slot_index[c]];
+            const ServingRequest &req = queue_[slot.request];
+            ServingOutcome &out = outcomes_[slot.request];
+            ++slot.fed;
+            if (want[c] == 0)
+                continue;
+            out.tokens.push_back(slot.sampler->sample(logits[c]));
+            if (out.tokens.size() == 1)
+                out.firstTokenStep = step + 1;
+            if (out.tokens.size() == req.decodeTokens) {
+                out.finishStep = step + 1;
+                slot.busy = false;
+                slot.cache.reset();
+                slot.sampler.reset();
+                ++finished;
+            }
+        }
+        ++step;
+    }
+    // Start-of-step time for the first never-executed step == end of
+    // the run; finishStep/firstTokenStep indices land here at most.
+    step_wall.push_back(elapsed());
+
+    std::vector<double> ttfts(n), latencies(n);
+    double queue_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        ServingOutcome &out = outcomes_[i];
+        const double arrival = step_wall[out.arrivalStep];
+        out.queueSeconds = step_wall[out.admitStep] - arrival;
+        out.ttftSeconds = step_wall[out.firstTokenStep] - arrival;
+        out.latencySeconds = step_wall[out.finishStep] - arrival;
+        const double service =
+            step_wall[out.finishStep] - step_wall[out.admitStep];
+        out.decodeTokensPerSecond =
+            service > 0 ? double(out.tokens.size()) / service : 0.0;
+        ttfts[i] = out.ttftSeconds;
+        latencies[i] = out.latencySeconds;
+        queue_sum += out.queueSeconds;
+        stats_.decodedTokens += out.tokens.size();
+    }
+    stats_.wallSeconds = step_wall.back();
+    stats_.aggregateTokensPerSecond =
+        stats_.wallSeconds > 0
+            ? double(stats_.decodedTokens) / stats_.wallSeconds
+            : 0.0;
+    stats_.meanOccupancy =
+        stats_.executedSteps > 0
+            ? double(stats_.forwards) /
+                  double(stats_.executedSteps * slots_)
+            : 0.0;
+    stats_.meanQueueSeconds = queue_sum / double(n);
+    stats_.ttftP50Seconds = percentile(ttfts, 0.50);
+    stats_.ttftP95Seconds = percentile(ttfts, 0.95);
+    stats_.latencyP50Seconds = percentile(latencies, 0.50);
+    stats_.latencyP95Seconds = percentile(latencies, 0.95);
+
+    queue_.clear();
+    return outcomes_;
+}
+
+std::string
+ServingEngine::metricsJson() const
+{
+    std::ostringstream os;
+    os.precision(9);
+    os << "{\n";
+    os << "  \"slots\": " << stats_.slots << ",\n";
+    os << "  \"requests\": " << stats_.requests << ",\n";
+    os << "  \"executed_steps\": " << stats_.executedSteps << ",\n";
+    os << "  \"forwards\": " << stats_.forwards << ",\n";
+    os << "  \"decoded_tokens\": " << stats_.decodedTokens << ",\n";
+    os << "  \"wall_seconds\": " << stats_.wallSeconds << ",\n";
+    os << "  \"aggregate_tokens_per_second\": "
+       << stats_.aggregateTokensPerSecond << ",\n";
+    os << "  \"mean_occupancy\": " << stats_.meanOccupancy << ",\n";
+    os << "  \"mean_queue_seconds\": " << stats_.meanQueueSeconds
+       << ",\n";
+    os << "  \"ttft_seconds\": {\"p50\": " << stats_.ttftP50Seconds
+       << ", \"p95\": " << stats_.ttftP95Seconds << "},\n";
+    os << "  \"latency_seconds\": {\"p50\": "
+       << stats_.latencyP50Seconds
+       << ", \"p95\": " << stats_.latencyP95Seconds << "},\n";
+    os << "  \"requests_detail\": [";
+    for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+        const ServingOutcome &out = outcomes_[i];
+        os << (i == 0 ? "\n" : ",\n");
+        os << "    {\"id\": " << out.id
+           << ", \"arrival_step\": " << out.arrivalStep
+           << ", \"admit_step\": " << out.admitStep
+           << ", \"first_token_step\": " << out.firstTokenStep
+           << ", \"finish_step\": " << out.finishStep
+           << ", \"decoded_tokens\": " << out.tokens.size()
+           << ", \"queue_seconds\": " << out.queueSeconds
+           << ", \"ttft_seconds\": " << out.ttftSeconds
+           << ", \"latency_seconds\": " << out.latencySeconds
+           << ", \"decode_tokens_per_second\": "
+           << out.decodeTokensPerSecond << "}";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+} // namespace hnlpu

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Continuous-batching serving engine over the functional Engine.
+ *
+ * Implements iteration-level scheduling (paper Section 5.2, the
+ * functional counterpart of pipeline/batcher.hh): up to `slots`
+ * sequences are in flight at once, every scheduler step runs exactly one
+ * token for every busy slot through Engine::forwardTokenBatch, and the
+ * moment a sequence emits its last token its slot is re-admitted from
+ * the FIFO queue.  Prefill and decode interleave freely -- a step may
+ * carry prefill tokens of a fresh request next to decode tokens of
+ * half-finished ones.
+ *
+ * The step clock uses the same slot semantics as ContinuousBatcher with
+ * unit token timings, so the two can be cross-checked on one trace:
+ * ServingEngine on {arrivalStep, prompt of p, d decode tokens} produces
+ * admit/first-token/finish steps equal to ContinuousBatcher(slots, 1.0,
+ * 1.0) on Request{arrivalStep, p, d - 1}.  (The serving engine samples
+ * the first decode token from the last prefill forward, so a request
+ * occupies its slot for p + d - 1 forwards.)
+ *
+ * Decoded tokens are bit-identical to running each request alone
+ * through Engine::generate with the same sampler config and seed
+ * (tests/test_serving.cc pins this across kernels, thread counts and
+ * slot counts).
+ */
+
+#ifndef HNLPU_XFORMER_SERVING_HH
+#define HNLPU_XFORMER_SERVING_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xformer/engine.hh"
+
+namespace hnlpu {
+
+/** One queued generation request. */
+struct ServingRequest
+{
+    std::vector<std::size_t> prompt;  //!< token ids, non-empty
+    std::size_t decodeTokens = 0;     //!< tokens to generate, >= 1
+    /** Scheduler step at which the request becomes admissible. */
+    std::size_t arrivalStep = 0;
+    SamplerConfig sampler;            //!< per-request sampling policy
+    std::uint64_t seed = 0;           //!< per-request sampler seed
+};
+
+/** Completion record for one served request. */
+struct ServingOutcome
+{
+    std::size_t id = 0;               //!< enqueue order
+    std::vector<std::size_t> tokens;  //!< decoded ids, in order
+
+    // Step-clock milestones (cross-checkable against
+    // ContinuousBatcher; see file comment).
+    std::size_t arrivalStep = 0;
+    std::size_t admitStep = 0;      //!< first forward ran at this step
+    std::size_t firstTokenStep = 0; //!< == admitStep + promptTokens
+    std::size_t finishStep = 0;     //!< slot admissible again here
+
+    // Wall-clock metrics, seconds relative to the request's arrival.
+    double queueSeconds = 0;   //!< arrival -> admission
+    double ttftSeconds = 0;    //!< arrival -> first token sampled
+    double latencySeconds = 0; //!< arrival -> last token sampled
+    /** Decoded tokens over the slot-occupancy time (admit -> finish). */
+    double decodeTokensPerSecond = 0;
+};
+
+/** Aggregate statistics of one ServingEngine::run. */
+struct ServingStats
+{
+    std::size_t requests = 0;
+    std::size_t slots = 0;
+    std::size_t executedSteps = 0;  //!< steps that ran >= 1 forward
+    std::size_t forwards = 0;       //!< busy-slot forwards issued
+    std::size_t decodedTokens = 0;
+    double wallSeconds = 0;
+    /** Decoded tokens per wall second across the whole run. */
+    double aggregateTokensPerSecond = 0;
+    /** forwards / (executedSteps * slots). */
+    double meanOccupancy = 0;
+    double meanQueueSeconds = 0;
+    // Nearest-rank percentiles over per-request wall metrics.
+    double ttftP50Seconds = 0;
+    double ttftP95Seconds = 0;
+    double latencyP50Seconds = 0;
+    double latencyP95Seconds = 0;
+};
+
+/**
+ * Continuous-batching front end for one Engine.
+ *
+ * Not thread-safe; run() drives the borrowed engine, which must not be
+ * used elsewhere while serving.  Each slot owns a per-request KvCache
+ * (capacity-hinted to prompt + decode, so appends never reallocate) and
+ * a per-request Sampler.
+ */
+class ServingEngine
+{
+  public:
+    /**
+     * @param engine borrowed executor; must outlive the serving engine
+     * @param slots concurrent sequences; 0 reads the engine's
+     *        ExecOptions::batchSlots default
+     */
+    explicit ServingEngine(Engine &engine, std::size_t slots = 0);
+
+    /**
+     * Queue a request (FIFO).  Fatal on an empty prompt, zero decode
+     * tokens, an out-of-vocab prompt id, or an arrivalStep below an
+     * already-queued request's (the queue must be arrival-sorted, the
+     * same contract ContinuousBatcher::serve enforces).
+     * @return the request id (enqueue order, stable across run())
+     */
+    std::size_t enqueue(ServingRequest request);
+
+    /**
+     * Serve every queued request to completion and clear the queue.
+     * @return per-request outcomes ordered by request id
+     */
+    std::vector<ServingOutcome> run();
+
+    /** Aggregate statistics of the last run(). */
+    const ServingStats &stats() const { return stats_; }
+
+    /**
+     * Last run's stats plus per-request records as a JSON object
+     * (schema documented in DESIGN.md "Continuous-batching serving").
+     */
+    std::string metricsJson() const;
+
+    std::size_t slotCount() const { return slots_; }
+    std::size_t queuedRequests() const { return queue_.size(); }
+
+  private:
+    /** In-flight state of one slot. */
+    struct Slot
+    {
+        bool busy = false;
+        std::size_t request = 0;   //!< queue index
+        std::size_t fed = 0;       //!< forwards already issued
+        std::optional<KvCache> cache;
+        std::optional<Sampler> sampler;
+    };
+
+    Engine &engine_;
+    std::size_t slots_;
+    std::vector<ServingRequest> queue_;
+    std::size_t nextId_ = 0;
+    std::vector<ServingOutcome> outcomes_;
+    ServingStats stats_;
+};
+
+} // namespace hnlpu
+
+#endif // HNLPU_XFORMER_SERVING_HH

@@ -162,5 +162,28 @@ TEST(BatcherDeathTest, RejectsUnsortedArrivals)
     EXPECT_DEATH(batcher.serve(reqs), "sorted");
 }
 
+TEST(BatcherDeathTest, RejectsPromptlessRequests)
+{
+    // A request with no prompt has no position to decode from; the
+    // functional serving engine rejects the same trace, so the two
+    // schedulers agree on which inputs are legal.
+    ContinuousBatcher batcher(2, 1e-6, 1e-4);
+    std::vector<Request> reqs{{0.0, 0, 4}};
+    EXPECT_DEATH(batcher.serve(reqs), "no prompt tokens");
+}
+
+TEST(Batcher, ZeroDecodeTokensFinishAtFirstToken)
+{
+    // decodeTokens == 0 is legal (prefill-only occupancy): the
+    // functional ServingEngine maps its d-decode requests onto
+    // decodeTokens == d - 1 here, so d == 1 exercises this case.
+    ContinuousBatcher batcher(2, 1e-6, 1e-4);
+    std::vector<Request> reqs{{0.0, 8, 0}};
+    auto outcomes = batcher.serve(reqs);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_DOUBLE_EQ(outcomes[0].finish, outcomes[0].firstToken);
+    EXPECT_EQ(batcher.stats().decodedTokens, 0u);
+}
+
 } // namespace
 } // namespace hnlpu

@@ -452,5 +452,99 @@ TEST(EngineTest, DeterministicAcrossRuns)
     EXPECT_EQ(a.generate({1, 2, 3}, 8, sa), b.generate({1, 2, 3}, 8, sb));
 }
 
+TEST(SamplerTest, NaNLogitsAreRejectedUpFront)
+{
+    // NaN compares false against everything, so an argmax over
+    // NaN-bearing logits would be scan-order-dependent; sample() must
+    // refuse instead, on both the greedy and the temperature path.
+    Sampler greedy({0.0, 0}, 0);
+    const double nan = std::nan("");
+    EXPECT_DEATH(greedy.sample({0.5, nan, 1.0}), "NaN logit at index 1");
+    Sampler warm({0.9, 2}, 7);
+    EXPECT_DEATH(warm.sample({nan, 0.0}), "NaN logit at index 0");
+}
+
+TEST(SamplerTest, ScratchReuseKeepsDrawsIdentical)
+{
+    // The temperature path now reuses member scratch buffers; draws
+    // must still match a fresh sampler token for token.
+    Sampler reused({0.7, 3}, 99);
+    Rng logit_rng(123);
+    for (int t = 0; t < 20; ++t) {
+        Vec logits(50);
+        for (double &l : logits)
+            l = logit_rng.gaussian(0.0, 2.0);
+        Sampler fresh({0.7, 3}, 99);
+        // Re-sync the fresh sampler's RNG by replaying prior draws.
+        Rng replay_rng(123);
+        for (int u = 0; u < t; ++u) {
+            Vec prior(50);
+            for (double &l : prior)
+                l = replay_rng.gaussian(0.0, 2.0);
+            fresh.sample(prior);
+        }
+        EXPECT_EQ(reused.sample(logits), fresh.sample(logits))
+            << "token " << t;
+    }
+}
+
+TEST(KvCacheTest, ReserveKeepsReferencesStableAcrossAppends)
+{
+    // Serving holds key()/value() references while appending later
+    // tokens of the same step; with a capacity hint the backing store
+    // must never reallocate under them.
+    const std::size_t layers = 2, heads = 2, dim = 4, max_tokens = 6;
+    KvCache cache(layers, heads, dim, max_tokens);
+    std::vector<Vec> k{{1, 2, 3, 4}, {5, 6, 7, 8}};
+    std::vector<Vec> v{{9, 10, 11, 12}, {13, 14, 15, 16}};
+    for (std::size_t l = 0; l < layers; ++l)
+        cache.append(l, k, v);
+
+    const Vec *key0 = &cache.key(0, 1, 0);
+    const Vec *val0 = &cache.value(1, 0, 0);
+    const Vec key0_copy = *key0;
+    for (std::size_t t = 1; t < max_tokens; ++t) {
+        for (std::size_t l = 0; l < layers; ++l)
+            cache.append(l, k, v);
+        EXPECT_EQ(&cache.key(0, 1, 0), key0) << "token " << t;
+        EXPECT_EQ(&cache.value(1, 0, 0), val0) << "token " << t;
+    }
+    EXPECT_EQ(*key0, key0_copy);
+    EXPECT_EQ(cache.length(), max_tokens);
+
+    // reserveTokens() after construction gives the same guarantee.
+    KvCache late(1, 1, 2);
+    late.reserveTokens(4);
+    late.append(0, {{1, 2}}, {{3, 4}});
+    const Vec *first = &late.key(0, 0, 0);
+    late.append(0, {{5, 6}}, {{7, 8}});
+    late.append(0, {{9, 10}}, {{11, 12}});
+    EXPECT_EQ(&late.key(0, 0, 0), first);
+}
+
+TEST(EngineTest, ZeroDecodeStepsIsANoOp)
+{
+    const auto cfg = tinyTestModel();
+    const auto weights = ModelWeights::randomInit(cfg, 10);
+    Engine engine(cfg, weights, ExecPath::Reference);
+    Sampler greedy({0.0, 0}, 0);
+    EXPECT_TRUE(engine.generate({1, 2, 3}, 0, greedy).empty());
+    // Nothing would consume the prefill, so the model never ran.
+    EXPECT_EQ(engine.stats().tokensProcessed, 0u);
+}
+
+TEST(EngineTest, EmptyPromptAndShortScoreSequenceAreFatal)
+{
+    const auto cfg = tinyTestModel();
+    const auto weights = ModelWeights::randomInit(cfg, 10);
+    Engine engine(cfg, weights, ExecPath::Reference);
+    Sampler greedy({0.0, 0}, 0);
+    // No prompt means no position to decode from.
+    EXPECT_DEATH(engine.generate({}, 4, greedy), "non-empty prompt");
+    // Scoring needs a predicted token and at least one predictor.
+    EXPECT_DEATH(engine.scoreSequence({}), ">= 2 tokens");
+    EXPECT_DEATH(engine.scoreSequence({3}), ">= 2 tokens");
+}
+
 } // namespace
 } // namespace hnlpu
