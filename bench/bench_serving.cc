@@ -13,18 +13,26 @@
  * the reference path) is amortised over every in-flight sequence.
  *
  * Measurements, including per-request TTFT / queueing / p50 / p95
- * records, go to BENCH_serving.json.
+ * records, go to BENCH_serving.json.  With --trace, one extra 2-slot
+ * 2-thread run is served under an obs::Tracer and the Chrome trace
+ * (spans from serving, engine, moe and the thread pool) is written to
+ * the given path; the traced run must decode the same tokens as the
+ * untraced ones.
  *
  * Usage: bench_serving [decode_ref] [decode_hw] [requests] [json]
+ *                      [--trace trace.json]
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench_util.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "xformer/engine.hh"
 #include "xformer/sampler.hh"
 #include "xformer/serving.hh"
@@ -66,11 +74,13 @@ struct Measurement
 Measurement
 measure(const TransformerConfig &cfg, const ModelWeights &weights,
         ExecPath path, std::size_t slots, std::size_t requests,
-        std::size_t prompt_tokens, std::size_t decode_tokens)
+        std::size_t prompt_tokens, std::size_t decode_tokens,
+        const obs::Sink *sink = nullptr, std::size_t threads = 1)
 {
     ExecOptions exec;
-    exec.threads = 1; // isolate the batched-kernel win from threading
+    exec.threads = threads; // 1 isolates the batched-kernel win
     exec.batchSlots = slots;
+    exec.sink = sink;
     Engine engine(cfg, weights, path, 8, exec);
     ServingEngine serving(engine);
 
@@ -139,37 +149,63 @@ writeJson(const std::string &json_path, const TransformerConfig &cfg,
           std::size_t requests, std::size_t prompt_tokens,
           const std::vector<Measurement> &measurements)
 {
-    std::FILE *f = std::fopen(json_path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-        return;
-    }
-    std::fprintf(f,
-                 "{\n  \"model\": \"%s\",\n  \"requests\": %zu,\n"
-                 "  \"prompt_tokens\": %zu,\n  \"threads\": 1,\n"
-                 "  \"configs\": [\n",
-                 cfg.name.c_str(), requests, prompt_tokens);
+    obs::JsonWriter w(2);
+    w.beginObject();
+    w.field("model", cfg.name);
+    w.field("requests", requests);
+    w.field("prompt_tokens", prompt_tokens);
+    w.field("threads", 1);
+    w.key("configs").beginArray();
     double base_ref = 0.0, base_hw = 0.0;
-    for (std::size_t i = 0; i < measurements.size(); ++i) {
-        const Measurement &m = measurements[i];
+    for (const Measurement &m : measurements) {
         double &base = m.path == "reference" ? base_ref : base_hw;
         if (m.slots == 1)
             base = m.stats.aggregateTokensPerSecond;
-        std::fprintf(
-            f,
-            "    {\"path\": \"%s\", \"slots\": %zu, "
-            "\"aggregate_tokens_per_s\": %.3f, "
-            "\"speedup_vs_slots1\": %.3f, \"metrics\": %s}%s\n",
-            m.path.c_str(), m.slots,
-            m.stats.aggregateTokensPerSecond,
-            base > 0.0 ? m.stats.aggregateTokensPerSecond / base : 0.0,
-            m.metricsJson.c_str(),
-            i + 1 < measurements.size() ? "," : "");
+        w.beginObject()
+            .field("path", m.path)
+            .field("slots", m.slots)
+            .field("aggregate_tokens_per_s",
+                   m.stats.aggregateTokensPerSecond)
+            .field("speedup_vs_slots1",
+                   base > 0.0
+                       ? m.stats.aggregateTokensPerSecond / base
+                       : 0.0)
+            .key("metrics")
+            .rawValue(m.metricsJson)
+            .endObject();
     }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\nwrote %s (%zu configs)\n", json_path.c_str(),
-                measurements.size());
+    w.endArray();
+    w.endObject();
+    bench::writeJsonFile(json_path, w,
+                         std::to_string(measurements.size()) +
+                             " configs");
+}
+
+/**
+ * Serve the reference trace once more under a Tracer + MetricsRegistry
+ * and write the Chrome trace to @p trace_path.  Returns the decoded
+ * tokens so the caller can pin bit-identity against the untraced runs.
+ */
+std::vector<std::vector<std::size_t>>
+writeTrace(const std::string &trace_path, const TransformerConfig &cfg,
+           const ModelWeights &weights, std::size_t requests,
+           std::size_t prompt_tokens, std::size_t decode_tokens)
+{
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    obs::Sink sink;
+    sink.trace = &tracer;
+    sink.metrics = &metrics;
+    // 2 slots batches steps; 2 threads makes pool.chunk spans appear.
+    const Measurement m =
+        measure(cfg, weights, ExecPath::Reference, 2, requests,
+                prompt_tokens, decode_tokens, &sink, 2);
+    tracer.writeFile(trace_path);
+    std::printf("\nwrote %s (%zu spans, %s decoded tokens/s)\n",
+                trace_path.c_str(), tracer.eventCount(),
+                commaString(m.stats.aggregateTokensPerSecond, 2)
+                    .c_str());
+    return m.tokens;
 }
 
 } // namespace
@@ -179,14 +215,28 @@ main(int argc, char **argv)
 {
     using namespace hnlpu;
 
+    // Positional args as documented, plus --trace <path> anywhere.
+    std::string trace_path;
+    std::vector<const char *> pos;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--trace needs a path\n");
+                return 1;
+            }
+            trace_path = argv[++i];
+        } else {
+            pos.push_back(argv[i]);
+        }
+    }
     const std::size_t decode_ref =
-        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 24;
+        pos.size() > 0 ? std::strtoul(pos[0], nullptr, 10) : 24;
     const std::size_t decode_hw =
-        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 12;
+        pos.size() > 1 ? std::strtoul(pos[1], nullptr, 10) : 12;
     const std::size_t requests =
-        argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 8;
+        pos.size() > 2 ? std::strtoul(pos[2], nullptr, 10) : 8;
     const std::string json_path =
-        argc > 4 ? argv[4] : "BENCH_serving.json";
+        pos.size() > 3 ? pos[3] : "BENCH_serving.json";
     const std::size_t prompt_tokens = 4;
 
     const TransformerConfig cfg = scaledGptOssBlock();
@@ -213,5 +263,18 @@ main(int argc, char **argv)
                       prompt_tokens, decode_hw));
 
     writeJson(json_path, cfg, requests, prompt_tokens, all);
+
+    if (!trace_path.empty()) {
+        const auto traced = writeTrace(trace_path, cfg, weights,
+                                       requests, prompt_tokens,
+                                       decode_ref);
+        // Observability must not perturb the computation: the traced
+        // run decodes the exact tokens of the untraced reference runs.
+        if (traced != all.front().tokens) {
+            std::fprintf(stderr,
+                         "FATAL: traced run decoded different tokens\n");
+            return 1;
+        }
+    }
     return 0;
 }

@@ -123,26 +123,23 @@ void
 writeJson(const std::string &json_path, const TransformerConfig &cfg,
           const std::vector<Measurement> &measurements)
 {
-    std::FILE *f = std::fopen(json_path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-        return;
+    obs::JsonWriter w(2);
+    w.beginObject();
+    w.field("model", cfg.name);
+    w.key("configs").beginArray();
+    for (const Measurement &m : measurements) {
+        w.beginObject()
+            .field("path", m.path)
+            .field("kernel", m.kernel)
+            .field("threads", m.threads)
+            .field("tokens_per_s", m.tokensPerSecond)
+            .endObject();
     }
-    std::fprintf(f, "{\n  \"model\": \"%s\",\n  \"configs\": [\n",
-                 cfg.name.c_str());
-    for (std::size_t i = 0; i < measurements.size(); ++i) {
-        const Measurement &m = measurements[i];
-        std::fprintf(f,
-                     "    {\"path\": \"%s\", \"kernel\": \"%s\", "
-                     "\"threads\": %zu, \"tokens_per_s\": %.3f}%s\n",
-                     m.path.c_str(), m.kernel.c_str(), m.threads,
-                     m.tokensPerSecond,
-                     i + 1 < measurements.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\nwrote %s (%zu configs)\n", json_path.c_str(),
-                measurements.size());
+    w.endArray();
+    w.endObject();
+    bench::writeJsonFile(json_path, w,
+                         std::to_string(measurements.size()) +
+                             " configs");
 }
 
 } // namespace

@@ -12,6 +12,7 @@
 
 #include "common/table.hh"
 #include "common/units.hh"
+#include "obs/json.hh"
 
 namespace hnlpu::bench {
 
@@ -20,6 +21,28 @@ inline void
 banner(const std::string &title)
 {
     std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/**
+ * Write a completed obs::JsonWriter document to @p path with a trailing
+ * newline.  Prints to stderr and returns false on I/O failure; on
+ * success announces the file like every BENCH_*.json emitter does.
+ */
+inline bool
+writeJsonFile(const std::string &path, const obs::JsonWriter &writer,
+              const std::string &what)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    const std::string body = writer.str();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote %s (%s)\n", path.c_str(), what.c_str());
+    return true;
 }
 
 /** Relative deviation as a +x.x% string. */

@@ -44,6 +44,23 @@ echo "== tier-1: serving tests under ThreadSanitizer =="
 cmake --build "$TSAN_DIR" -j --target test_serving
 (cd "$TSAN_DIR" && ctest --output-on-failure -L '^serving$')
 
+echo "== tier-1: observability tests under ThreadSanitizer =="
+# Metric counters, the tracer mutex and the pool chunk observer are hit
+# from every worker thread; TSan proves the registry/tracer locking is
+# real and the observer installation has no unsynchronised window.
+cmake --build "$TSAN_DIR" -j --target test_obs
+(cd "$TSAN_DIR" && ctest --output-on-failure -L '^obs$')
+
+echo "== tier-1: traced serving run emits valid JSON =="
+# A 2-slot serving benchmark under --trace must produce BENCH JSON and a
+# Chrome trace that a strict parser accepts (every emitter goes through
+# obs::JsonWriter; a hand-concatenation regression fails here).
+"$BUILD_DIR"/bench/bench_serving 6 4 4 \
+    "$BUILD_DIR"/BENCH_serving.json \
+    --trace "$BUILD_DIR"/TRACE_serving.json > /dev/null
+python3 -m json.tool "$BUILD_DIR"/BENCH_serving.json > /dev/null
+python3 -m json.tool "$BUILD_DIR"/TRACE_serving.json > /dev/null
+
 echo "== tier-1: fault tests under AddressSanitizer =="
 cmake -B "$ASAN_DIR" -S . -DHNLPU_SANITIZE=address
 cmake --build "$ASAN_DIR" -j --target test_fault

@@ -1,9 +1,63 @@
 #include "common/logging.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace hnlpu {
+
+namespace {
+
+/** One registered hnlpu_warn_ratelimited call site. */
+struct WarnSite
+{
+    const char *file = nullptr;
+    int line = 0;
+    const detail::WarnRateLimiter *limiter = nullptr;
+};
+
+std::mutex &
+warnSiteMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::vector<WarnSite> &
+warnSiteList()
+{
+    static std::vector<WarnSite> sites;
+    return sites;
+}
+
+} // namespace
+
+detail::WarnRateLimiter::WarnRateLimiter(const char *file, int line)
+{
+    std::lock_guard<std::mutex> lock(warnSiteMutex());
+    warnSiteList().push_back({file, line, this});
+}
+
+std::vector<WarnSiteCount>
+warnSiteCounts()
+{
+    std::vector<WarnSiteCount> out;
+    {
+        std::lock_guard<std::mutex> lock(warnSiteMutex());
+        out.reserve(warnSiteList().size());
+        for (const WarnSite &site : warnSiteList())
+            out.push_back(
+                {site.file, site.line, site.limiter->occurrences()});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const WarnSiteCount &a, const WarnSiteCount &b) {
+                  if (int c = a.file.compare(b.file); c != 0)
+                      return c < 0;
+                  return a.line < b.line;
+              });
+    return out;
+}
 
 void
 panicImpl(const std::string &msg, const char *file, int line)

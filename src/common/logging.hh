@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace hnlpu {
 
@@ -58,6 +59,18 @@ class WarnRateLimiter
     static constexpr std::uint64_t kBurst = 5;
     static constexpr std::uint64_t kPeriod = 1000;
 
+    WarnRateLimiter() = default;
+
+    /**
+     * Call-site-registering form used by hnlpu_warn_ratelimited: the
+     * limiter enrolls itself in a process-wide list so suppressed
+     * occurrences remain countable (warnSiteCounts(), and from there
+     * obs::MetricsRegistry) instead of vanishing once the rate limit
+     * kicks in.  Only static-duration limiters may use this ctor --
+     * the registry keeps a pointer for the life of the process.
+     */
+    WarnRateLimiter(const char *file, int line);
+
     /** Register one occurrence; true when this one should be logged. */
     bool
     shouldLog()
@@ -80,6 +93,21 @@ class WarnRateLimiter
 
 } // namespace detail
 
+/** Snapshot of one rate-limited warn call site. */
+struct WarnSiteCount
+{
+    std::string file;
+    int line = 0;
+    std::uint64_t occurrences = 0;
+};
+
+/**
+ * Occurrence counts for every hnlpu_warn_ratelimited call site reached
+ * so far (sites whose static limiter has been constructed), sorted by
+ * file then line.  Thread-safe; counts are relaxed-atomic snapshots.
+ */
+std::vector<WarnSiteCount> warnSiteCounts();
+
 } // namespace hnlpu
 
 #define hnlpu_panic(...) \
@@ -98,7 +126,8 @@ class WarnRateLimiter
  */
 #define hnlpu_warn_ratelimited(...) \
     do { \
-        static ::hnlpu::detail::WarnRateLimiter hnlpu_rate_limiter_; \
+        static ::hnlpu::detail::WarnRateLimiter hnlpu_rate_limiter_{ \
+            __FILE__, __LINE__}; \
         if (hnlpu_rate_limiter_.shouldLog()) { \
             ::hnlpu::warnImpl(::hnlpu::detail::concat( \
                 __VA_ARGS__, " [occurrence ", \

@@ -52,6 +52,13 @@ ThreadPool::chunkRange(std::size_t index, std::size_t chunks,
 }
 
 void
+ThreadPool::setObserver(TaskObserver *observer)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    observer_ = observer;
+}
+
+void
 ThreadPool::parallelFor(std::size_t n, const RangeBody &body)
 {
     if (n == 0)
@@ -61,20 +68,27 @@ ThreadPool::parallelFor(std::size_t n, const RangeBody &body)
         return;
     }
 
+    TaskObserver *observer = nullptr;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         body_ = &body;
         jobSize_ = n;
         pending_ = workers_.size();
         ++generation_;
+        observer = observer_;
     }
     wake_.notify_all();
 
     // The calling thread always takes chunk 0.
     const auto [begin, end] = chunkRange(0, threadCount(), n);
     t_in_parallel_region = true;
-    if (begin < end)
+    if (begin < end) {
+        if (observer)
+            observer->chunkBegin(begin, end);
         body(begin, end);
+        if (observer)
+            observer->chunkEnd(begin, end);
+    }
     t_in_parallel_region = false;
 
     std::unique_lock<std::mutex> lock(mutex_);
@@ -89,6 +103,7 @@ ThreadPool::workerLoop(std::size_t worker_index)
     for (;;) {
         const RangeBody *body = nullptr;
         std::size_t n = 0;
+        TaskObserver *observer = nullptr;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             wake_.wait(lock, [&] {
@@ -99,13 +114,19 @@ ThreadPool::workerLoop(std::size_t worker_index)
             seen_generation = generation_;
             body = body_;
             n = jobSize_;
+            observer = observer_;
         }
 
         const auto [begin, end] =
             chunkRange(worker_index, threadCount(), n);
         t_in_parallel_region = true;
-        if (begin < end)
+        if (begin < end) {
+            if (observer)
+                observer->chunkBegin(begin, end);
             (*body)(begin, end);
+            if (observer)
+                observer->chunkEnd(begin, end);
+        }
         t_in_parallel_region = false;
 
         {

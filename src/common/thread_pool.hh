@@ -31,6 +31,24 @@
 
 namespace hnlpu {
 
+/**
+ * Observer hook invoked on the executing thread around every non-empty
+ * chunk of a dispatched parallelFor job (the caller's chunk included).
+ * Serial fallbacks -- no workers, n == 1, or a nested parallel region
+ * running inline -- are plain function calls and are not reported.
+ *
+ * This lives in common (not obs) so the pool carries no obs dependency;
+ * obs::PoolTaskTracer implements it to emit trace spans.  Implementations
+ * must be thread-safe: chunks run concurrently on all pool threads.
+ */
+class TaskObserver
+{
+  public:
+    virtual ~TaskObserver() = default;
+    virtual void chunkBegin(std::size_t begin, std::size_t end) = 0;
+    virtual void chunkEnd(std::size_t begin, std::size_t end) = 0;
+};
+
 /** Fixed-size fork-join pool with static range partitioning. */
 class ThreadPool
 {
@@ -64,6 +82,13 @@ class ThreadPool
     static std::pair<std::size_t, std::size_t> chunkRange(
         std::size_t index, std::size_t chunks, std::size_t n);
 
+    /**
+     * Install (or clear, with nullptr) the chunk observer.  Must not be
+     * called while a parallelFor is in flight; the observer must outlive
+     * its installation.
+     */
+    void setObserver(TaskObserver *observer);
+
   private:
     void workerLoop(std::size_t worker_index);
 
@@ -76,6 +101,7 @@ class ThreadPool
     bool stop_ = false;
     const RangeBody *body_ = nullptr;
     std::size_t jobSize_ = 0;
+    TaskObserver *observer_ = nullptr;
 };
 
 /**

@@ -165,10 +165,22 @@ DistributedEngine::makeCache() const
     return Cache(cfg_.layerCount, rows_, cfg_.kvHeads, cfg_.headDim);
 }
 
+ExecContext
+DistributedEngine::shardContext() const
+{
+    ExecContext ctx;
+    ctx.path = path_;
+    ctx.activationBits = activationBits_;
+    ctx.kernel = kernel_;
+    ctx.arena = scratchArena_.get();
+    return ctx;
+}
+
 Vec
 DistributedEngine::attention(std::size_t layer, const Vec &x_norm,
                              Cache &cache)
 {
+    const ExecContext ctx = shardContext();
     const std::size_t hidden_slice = cfg_.hiddenSize / rows_;
     const std::size_t qs = cfg_.qProjectionDim() / cols_;
     const std::size_t kvs = cfg_.kvProjectionDim() / cols_;
@@ -186,15 +198,9 @@ DistributedEngine::attention(std::size_t layer, const Vec &x_norm,
             const ChipShard &shard = shards_->chips[r * cols_ + c];
             const Vec x_slice(x_norm.begin() + r * hidden_slice,
                               x_norm.begin() + (r + 1) * hidden_slice);
-            const Vec qp = shard.wq[layer].forward(
-                x_slice, path_, activationBits_, nullptr, nullptr,
-                kernel_, scratchArena_.get());
-            const Vec kp = shard.wk[layer].forward(
-                x_slice, path_, activationBits_, nullptr, nullptr,
-                kernel_, scratchArena_.get());
-            const Vec vp = shard.wv[layer].forward(
-                x_slice, path_, activationBits_, nullptr, nullptr,
-                kernel_, scratchArena_.get());
+            const Vec qp = shard.wq[layer].forward(x_slice, ctx);
+            const Vec kp = shard.wk[layer].forward(x_slice, ctx);
+            const Vec vp = shard.wv[layer].forward(x_slice, ctx);
             for (std::size_t i = 0; i < qs; ++i)
                 q[i] += qp[i];
             for (std::size_t i = 0; i < kvs; ++i) {
@@ -282,9 +288,7 @@ DistributedEngine::attention(std::size_t layer, const Vec &x_norm,
             const ChipShard &shard = shards_->chips[r * cols_ + c];
             const Vec attn_col(attn_out.begin() + c * qs,
                                attn_out.begin() + (c + 1) * qs);
-            const Vec partial = shard.wo[layer].forward(
-                attn_col, path_, activationBits_, nullptr, nullptr,
-                kernel_, scratchArena_.get());
+            const Vec partial = shard.wo[layer].forward(attn_col, ctx);
             for (std::size_t i = 0; i < hidden_slice; ++i)
                 slice[i] += partial[i];
         }
@@ -318,6 +322,7 @@ DistributedEngine::feedForward(std::size_t layer, const Vec &x_norm)
 
     // Every chip evaluates the active experts it owns; the grid
     // all-reduce combines the weighted partial outputs.
+    const ExecContext ctx = shardContext();
     Vec out(cfg_.hiddenSize, 0.0);
     for (std::size_t chip = 0; chip < chipCount(); ++chip) {
         const ChipShard &shard = shards_->chips[chip];
@@ -329,18 +334,10 @@ DistributedEngine::feedForward(std::size_t layer, const Vec &x_norm)
                 continue;
             const Expert &ex =
                 shard.experts[layer][std::size_t(it - ids.begin())];
-            const Vec up = ex.up.forward(x_norm, path_, activationBits_,
-                                         nullptr, nullptr, kernel_,
-                                         scratchArena_.get());
-            const Vec gate = ex.gate.forward(x_norm, path_,
-                                             activationBits_, nullptr,
-                                             nullptr, kernel_,
-                                             scratchArena_.get());
+            const Vec up = ex.up.forward(x_norm, ctx);
+            const Vec gate = ex.gate.forward(x_norm, ctx);
             const Vec act = swiGlu(gate, up);
-            const Vec down = ex.down.forward(act, path_,
-                                             activationBits_, nullptr,
-                                             nullptr, kernel_,
-                                             scratchArena_.get());
+            const Vec down = ex.down.forward(act, ctx);
             for (std::size_t d = 0; d < out.size(); ++d)
                 out[d] += gate_weights[k] * down[d];
         }
@@ -371,12 +368,12 @@ DistributedEngine::forwardToken(std::size_t token_id, Cache &cache)
     const Vec final_norm = rmsNorm(x, weights_.finalNormGain);
 
     // Row-partitioned unembedding + logit all-gather.
+    const ExecContext ctx = shardContext();
     const std::size_t vocab_s = cfg_.vocabSize / chipCount();
     Vec logits(cfg_.vocabSize);
     for (std::size_t chip = 0; chip < chipCount(); ++chip) {
-        const Vec shard_logits = shards_->chips[chip].unembed.forward(
-            final_norm, path_, activationBits_, nullptr, nullptr,
-            kernel_, scratchArena_.get());
+        const Vec shard_logits =
+            shards_->chips[chip].unembed.forward(final_norm, ctx);
         std::copy(shard_logits.begin(), shard_logits.end(),
                   logits.begin() + chip * vocab_s);
     }

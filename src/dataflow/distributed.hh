@@ -93,6 +93,12 @@ class DistributedEngine
     Vec attention(std::size_t layer, const Vec &x_norm, Cache &cache);
     /** Distributed MoE FFN for one layer. */
     Vec feedForward(std::size_t layer, const Vec &x_norm);
+    /**
+     * The ExecContext every per-shard projection call reads (path /
+     * bits / kernel / shared scratch arena; no pool -- shards execute
+     * serially to model one chip at a time, and no activity sink).
+     */
+    ExecContext shardContext() const;
 
     TransformerConfig cfg_;
     const ModelWeights &weights_;

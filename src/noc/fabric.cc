@@ -1,6 +1,7 @@
 #include "noc/fabric.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace hnlpu {
 
@@ -92,6 +93,19 @@ Fabric::setLinkFaults(const LinkFaultParams &faults)
 }
 
 void
+Fabric::setMetrics(obs::MetricsRegistry *metrics)
+{
+    if (!metrics) {
+        mSends_ = mRetries_ = mTimeouts_ = mRerouted_ = nullptr;
+        return;
+    }
+    mSends_ = metrics->counter("noc.sends");
+    mRetries_ = metrics->counter("noc.retries");
+    mTimeouts_ = metrics->counter("noc.retry_timeouts");
+    mRerouted_ = metrics->counter("noc.rerouted");
+}
+
+void
 Fabric::markChipDead(ChipId chip)
 {
     hnlpu_assert(chip < chipCount(), "chip id out of range");
@@ -135,6 +149,8 @@ Fabric::send(ChipId src, ChipId dst, Bytes payload, Tick ready)
     const std::size_t index = linkIndex(src, dst);
     TimelineResource &l = links_[index];
     const Tick serialization = params_.serializationTicks(payload);
+    if (mSends_)
+        mSends_->add(1);
 
     if (!faults_.enabled()) {
         const Tick start = l.acquire(ready, serialization);
@@ -154,6 +170,8 @@ Fabric::send(ChipId src, ChipId dst, Bytes payload, Tick ready)
         if (rng.uniform01() >= faults_.retryProbability)
             return end + params_.latencyTicks();
         ++retries_;
+        if (mRetries_)
+            mRetries_->add(1);
         at = end + toTicks(backoff);
         backoff = backoff * faults_.backoffMultiplier;
     }
@@ -161,6 +179,8 @@ Fabric::send(ChipId src, ChipId dst, Bytes payload, Tick ready)
     // message once at a fixed penalty (modelled as guaranteed receipt;
     // a point-to-point CXL link has no alternate path).
     ++timeouts_;
+    if (mTimeouts_)
+        mTimeouts_->add(1);
     hnlpu_warn_ratelimited("fabric: link ", src, "->", dst,
                            " exhausted ", faults_.maxRetries,
                            " CRC retries; management-layer timeout");
@@ -195,6 +215,8 @@ Fabric::sendRouted(ChipId src, ChipId dst, Bytes payload, Tick ready)
         if (!connected(src, mid) || !connected(mid, dst))
             continue;
         ++rerouted_;
+        if (mRerouted_)
+            mRerouted_->add(1);
         const Tick relayed = send(src, mid, payload, ready);
         return send(mid, dst, payload, relayed);
     }

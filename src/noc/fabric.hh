@@ -21,6 +21,11 @@
 
 namespace hnlpu {
 
+namespace obs {
+class Counter;
+class MetricsRegistry;
+} // namespace obs
+
 /** Identifies a chip by grid position (row-major id). */
 using ChipId = std::size_t;
 
@@ -86,6 +91,16 @@ class Fabric
      */
     Tick sendRouted(ChipId src, ChipId dst, Bytes payload, Tick ready);
 
+    /**
+     * Mirror the fabric's event counters into @p metrics ("noc.sends",
+     * "noc.retries", "noc.retry_timeouts", "noc.rerouted").  The
+     * registry must outlive the fabric; pass nullptr to detach.
+     * Counters accumulate in the registry from the moment of the call
+     * (reset() does not clear them -- registry lifetime is the
+     * process, fabric lifetime is one experiment).
+     */
+    void setMetrics(obs::MetricsRegistry *metrics);
+
     /** CRC retransmissions performed across all links. */
     std::uint64_t totalRetries() const { return retries_; }
     /** Messages that exhausted their retry budget. */
@@ -122,6 +137,12 @@ class Fabric
     std::uint64_t retries_ = 0;
     std::uint64_t timeouts_ = 0;
     std::uint64_t rerouted_ = 0;
+
+    // Registry mirrors of the counters above (null when detached).
+    obs::Counter *mSends_ = nullptr;
+    obs::Counter *mRetries_ = nullptr;
+    obs::Counter *mTimeouts_ = nullptr;
+    obs::Counter *mRerouted_ = nullptr;
 };
 
 } // namespace hnlpu

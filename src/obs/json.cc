@@ -1,0 +1,211 @@
+#include "obs/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace hnlpu::obs {
+
+JsonWriter::JsonWriter(int indent) : indent_(indent)
+{
+    out_.reserve(256);
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ += '{';
+    stack_.push_back({true, 0});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    hnlpu_assert(!stack_.empty() && stack_.back().isObject,
+                "JsonWriter::endObject with no open object");
+    hnlpu_assert(!keyPending_,
+                "JsonWriter::endObject after key() with no value");
+    const bool had_members = stack_.back().members > 0;
+    stack_.pop_back();
+    if (had_members)
+        newlineIndent();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ += '[';
+    stack_.push_back({false, 0});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    hnlpu_assert(!stack_.empty() && !stack_.back().isObject,
+                "JsonWriter::endArray with no open array");
+    const bool had_members = stack_.back().members > 0;
+    stack_.pop_back();
+    if (had_members)
+        newlineIndent();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    hnlpu_assert(!stack_.empty() && stack_.back().isObject,
+                "JsonWriter::key outside an object");
+    beforeValue(/*is_key=*/true);
+    out_ += '"';
+    out_ += escape(name);
+    out_ += "\":";
+    if (indent_ > 0)
+        out_ += ' ';
+    keyPending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view s)
+{
+    beforeValue();
+    out_ += '"';
+    out_ += escape(s);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    beforeValue();
+    out_ += b ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (!std::isfinite(v)) {
+        out_ += "null";
+        return *this;
+    }
+    char buf[32];
+    const auto res =
+        std::to_chars(buf, buf + sizeof(buf), v);
+    out_.append(buf, res.ptr);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(std::string_view json)
+{
+    hnlpu_assert(!json.empty(), "JsonWriter::rawValue with empty JSON");
+    beforeValue();
+    out_ += json;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::valueInt(std::int64_t v)
+{
+    beforeValue();
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out_.append(buf, res.ptr);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::valueUint(std::uint64_t v)
+{
+    beforeValue();
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out_.append(buf, res.ptr);
+    return *this;
+}
+
+void
+JsonWriter::beforeValue(bool is_key)
+{
+    if (keyPending_) {
+        // A key() already positioned us; the value follows inline.
+        hnlpu_assert(!is_key, "JsonWriter: key() directly after key()");
+        keyPending_ = false;
+        return;
+    }
+    if (stack_.empty()) {
+        hnlpu_assert(values_ == 0,
+                    "JsonWriter: multiple top-level values");
+        ++values_;
+        return;
+    }
+    Frame &frame = stack_.back();
+    hnlpu_assert(frame.isObject == is_key,
+                frame.isObject
+                    ? "JsonWriter: value inside object needs key()"
+                    : "JsonWriter: key() inside an array");
+    if (frame.members > 0)
+        out_ += ',';
+    ++frame.members;
+    newlineIndent();
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    if (indent_ <= 0)
+        return;
+    out_ += '\n';
+    out_.append(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    hnlpu_assert(stack_.empty(),
+                "JsonWriter::str with unclosed containers");
+    hnlpu_assert(values_ == 1, "JsonWriter::str on empty document");
+    return out_;
+}
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+        const unsigned char c = static_cast<unsigned char>(ch);
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace hnlpu::obs

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Streaming JSON writer for every machine-readable artefact the repo
+ * emits (serving metrics, BENCH_*.json, Chrome trace files).
+ *
+ * Before this existed each emitter hand-concatenated strings, which
+ * worked until a model name or span label contained a quote or
+ * backslash.  JsonWriter owns structure (comma/brace placement via an
+ * explicit frame stack, validated as you write) and escaping (full
+ * RFC 8259 string escaping, non-finite doubles emitted as null), so an
+ * emitter can only produce well-formed JSON or die with a panic --
+ * never silently produce a file `python3 -m json.tool` rejects.
+ */
+
+#ifndef HNLPU_OBS_JSON_HH
+#define HNLPU_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace hnlpu::obs {
+
+/**
+ * Append-only JSON document builder.
+ *
+ * Usage: beginObject()/beginArray() open containers, key() names the
+ * next member inside an object, value()/rawValue() emit scalars, and
+ * str() returns the finished document (panics when containers are
+ * still open).  `indent > 0` pretty-prints with that many spaces per
+ * level; 0 emits the compact single-line form.  Not thread-safe; build
+ * one per document.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(int indent = 2);
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Name the next member; only valid directly inside an object. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view s);
+    JsonWriter &value(const char *s) { return value(std::string_view(s)); }
+    JsonWriter &value(bool b);
+    /** Non-finite doubles (inf/NaN have no JSON form) emit null. */
+    JsonWriter &value(double v);
+    template <typename T>
+        requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+    JsonWriter &
+    value(T v)
+    {
+        if constexpr (std::is_signed_v<T>)
+            return valueInt(static_cast<std::int64_t>(v));
+        else
+            return valueUint(static_cast<std::uint64_t>(v));
+    }
+
+    /**
+     * Splice a pre-rendered JSON value verbatim (e.g. the output of
+     * another JsonWriter).  The caller vouches for its validity.
+     */
+    JsonWriter &rawValue(std::string_view json);
+
+    /** key(name).value(v) in one call. */
+    template <typename T>
+    JsonWriter &
+    field(std::string_view name, T &&v)
+    {
+        return key(name).value(std::forward<T>(v));
+    }
+
+    /** The finished document; panics when containers are still open. */
+    const std::string &str() const;
+
+    /** RFC 8259 string escaping (without the surrounding quotes). */
+    static std::string escape(std::string_view s);
+
+  private:
+    struct Frame
+    {
+        bool isObject = false;
+        std::size_t members = 0;
+    };
+
+    JsonWriter &valueInt(std::int64_t v);
+    JsonWriter &valueUint(std::uint64_t v);
+    /** Comma/newline/indent before the next element; marks it begun. */
+    void beforeValue(bool is_key = false);
+    void newlineIndent();
+
+    int indent_;
+    bool keyPending_ = false;
+    std::vector<Frame> stack_;
+    std::string out_;
+    std::size_t values_ = 0; //!< top-level values written (must be 1)
+};
+
+} // namespace hnlpu::obs
+
+#endif // HNLPU_OBS_JSON_HH

@@ -1,0 +1,153 @@
+#include "obs/metrics.hh"
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace hnlpu::obs {
+
+LatencyHistogram::LatencyHistogram(double lo, double hi,
+                                   std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins), hist_(lo, hi, bins)
+{
+}
+
+void
+LatencyHistogram::observe(double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    acc_.add(seconds);
+    hist_.add(seconds);
+}
+
+std::uint64_t
+LatencyHistogram::count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return acc_.count();
+}
+
+double
+LatencyHistogram::mean() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return acc_.mean();
+}
+
+double
+LatencyHistogram::min() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return acc_.count() == 0 ? 0.0 : acc_.min();
+}
+
+double
+LatencyHistogram::max() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return acc_.count() == 0 ? 0.0 : acc_.max();
+}
+
+double
+LatencyHistogram::quantile(double q) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hist_.quantile(q);
+}
+
+void
+LatencyHistogram::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    acc_ = Accumulator();
+    hist_ = Histogram(lo_, hi_, bins_);
+}
+
+Counter *
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return slot.get();
+}
+
+Gauge *
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return slot.get();
+}
+
+LatencyHistogram *
+MetricsRegistry::latency(const std::string &name, double lo, double hi,
+                         std::size_t bins)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = latencies_[name];
+    if (!slot)
+        slot = std::make_unique<LatencyHistogram>(lo, hi, bins);
+    return slot.get();
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : latencies_)
+        h->reset();
+}
+
+std::string
+MetricsRegistry::toJson(int indent) const
+{
+    JsonWriter w(indent);
+    w.beginObject();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        w.key("counters").beginObject();
+        for (const auto &[name, c] : counters_)
+            w.field(name, c->value());
+        w.endObject();
+        w.key("gauges").beginObject();
+        for (const auto &[name, g] : gauges_)
+            w.field(name, g->value());
+        w.endObject();
+        w.key("latencies").beginObject();
+        for (const auto &[name, h] : latencies_) {
+            w.key(name).beginObject();
+            w.field("count", h->count());
+            w.field("mean_seconds", h->mean());
+            w.field("min_seconds", h->min());
+            w.field("max_seconds", h->max());
+            w.field("p50_seconds", h->quantile(0.50));
+            w.field("p95_seconds", h->quantile(0.95));
+            w.field("p99_seconds", h->quantile(0.99));
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.key("warn_sites").beginObject();
+    for (const WarnSiteCount &site : warnSiteCounts())
+        w.field(site.file + ":" + std::to_string(site.line),
+                site.occurrences);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace hnlpu::obs

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and
+ * sim::Histogram-backed latency histograms.
+ *
+ * Naming convention (see DESIGN.md "Observability"): dot-separated
+ * `subsystem.metric` in snake_case, e.g. `serving.decoded_tokens`,
+ * `noc.retries`, `pool.chunks`.  Handles returned by counter() /
+ * gauge() / latency() are stable for the registry's lifetime, so hot
+ * paths resolve a name once and then pay one relaxed atomic add per
+ * event -- and nothing at all when no registry is wired up (a null
+ * obs::Sink is the disabled mode).
+ */
+
+#ifndef HNLPU_OBS_METRICS_HH
+#define HNLPU_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace hnlpu::obs {
+
+/** Monotonic event counter; relaxed atomics, safe from any thread. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value (queue depth, occupancy). */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Latency distribution: an Accumulator (count/mean/min/max) plus a
+ * fixed-range sim::Histogram for quantiles.  Mutex-guarded -- meant for
+ * per-step or per-request observations, not per-element inner loops.
+ */
+class LatencyHistogram
+{
+  public:
+    /** @param lo,hi,bins histogram shape, in seconds. */
+    LatencyHistogram(double lo, double hi, std::size_t bins);
+
+    void observe(double seconds);
+
+    std::uint64_t count() const;
+    double mean() const;
+    double min() const;
+    double max() const;
+    double quantile(double q) const;
+
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    double lo_, hi_;
+    std::size_t bins_;
+    Accumulator acc_;
+    Histogram hist_;
+};
+
+/**
+ * Named-metric registry.  counter()/gauge()/latency() create on first
+ * use and return stable pointers; writeJson() snapshots everything
+ * (including the hnlpu_warn_ratelimited call-site counters, which
+ * would otherwise be dropped once the rate limit engages).
+ *
+ * All methods are thread-safe.  Use global() for the process-wide
+ * instance, or construct a private one per test/bench run.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    Counter *counter(const std::string &name);
+    Gauge *gauge(const std::string &name);
+    LatencyHistogram *latency(const std::string &name, double lo = 0.0,
+                              double hi = 60.0,
+                              std::size_t bins = 4096);
+
+    /** Zero every registered metric (handles stay valid). */
+    void reset();
+
+    /**
+     * Snapshot as a JSON object: {"counters": {...}, "gauges": {...},
+     * "latencies": {name: {count, mean, min, max, p50, p95, p99}},
+     * "warn_sites": {"file:line": occurrences}}.
+     */
+    std::string toJson(int indent = 2) const;
+
+    /** The process-wide registry. */
+    static MetricsRegistry &global();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> latencies_;
+};
+
+} // namespace hnlpu::obs
+
+#endif // HNLPU_OBS_METRICS_HH

@@ -1,0 +1,157 @@
+#include "obs/trace.hh"
+
+#include <atomic>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace hnlpu::obs {
+
+std::uint32_t
+currentThreadId()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+double
+Tracer::nowMicros() const
+{
+    const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+    return std::chrono::duration<double, std::micro>(elapsed).count();
+}
+
+void
+Tracer::complete(std::string_view cat, std::string_view name,
+                 double ts_us, double dur_us,
+                 std::string_view args_json)
+{
+    completeAt(cat, name, ts_us, dur_us, currentThreadId(), args_json);
+}
+
+void
+Tracer::completeAt(std::string_view cat, std::string_view name,
+                   double ts_us, double dur_us, std::uint32_t tid,
+                   std::string_view args_json)
+{
+    Event ev;
+    ev.cat = cat;
+    ev.name = name;
+    ev.args = args_json;
+    ev.ts = ts_us;
+    ev.dur = dur_us;
+    ev.tid = tid;
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(ev));
+}
+
+std::size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::string
+Tracer::toJson(int indent) const
+{
+    JsonWriter w(indent);
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const Event &ev : events_) {
+            w.beginObject();
+            w.field("name", ev.name);
+            w.field("cat", ev.cat);
+            w.field("ph", "X");
+            w.field("ts", ev.ts);
+            w.field("dur", ev.dur);
+            w.field("pid", 0);
+            w.field("tid", ev.tid);
+            if (!ev.args.empty())
+                w.key("args").rawValue(ev.args);
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.field("displayTimeUnit", "ms");
+    w.endObject();
+    return w.str();
+}
+
+bool
+Tracer::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        hnlpu_warn("cannot write trace file ", path);
+        return false;
+    }
+    const std::string json = toJson();
+    const std::size_t written =
+        std::fwrite(json.data(), 1, json.size(), f);
+    const bool ok = written == json.size() &&
+                    std::fputc('\n', f) != EOF &&
+                    std::fclose(f) == 0;
+    if (!ok)
+        hnlpu_warn("short write on trace file ", path);
+    return ok;
+}
+
+ScopedSpan::ScopedSpan(Tracer *tracer, std::string_view cat,
+                       std::string_view name, std::string args_json)
+    : tracer_(tracer)
+{
+    if (!tracer_)
+        return;
+    cat_ = cat;
+    name_ = name;
+    args_ = std::move(args_json);
+    startUs_ = tracer_->nowMicros();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!tracer_)
+        return;
+    tracer_->complete(cat_, name_, startUs_,
+                      tracer_->nowMicros() - startUs_, args_);
+}
+
+namespace {
+
+/**
+ * Per-thread start stamp for the in-flight pool chunk.  Dispatched
+ * chunks never nest (a nested parallelFor runs inline and unobserved),
+ * so one slot per thread suffices.
+ */
+thread_local double t_chunk_start_us = 0.0;
+
+} // namespace
+
+void
+PoolTaskTracer::chunkBegin(std::size_t, std::size_t)
+{
+    t_chunk_start_us = tracer_->nowMicros();
+}
+
+void
+PoolTaskTracer::chunkEnd(std::size_t begin, std::size_t end)
+{
+    JsonWriter args(0);
+    args.beginObject()
+        .field("begin", begin)
+        .field("end", end)
+        .endObject();
+    tracer_->complete("pool", "pool.chunk", t_chunk_start_us,
+                      tracer_->nowMicros() - t_chunk_start_us,
+                      args.str());
+}
+
+} // namespace hnlpu::obs

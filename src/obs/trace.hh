@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Scoped-span tracer emitting Chrome trace-event JSON.
+ *
+ * The output of Tracer::toJson() loads directly into chrome://tracing
+ * or https://ui.perfetto.dev: an object with a "traceEvents" array of
+ * complete ("ph":"X") events, timestamps and durations in microseconds,
+ * one track per thread id.  Both the functional engine (wall-clock
+ * spans) and the cycle-level PipelineSim (simulated-time spans, via
+ * completeAt()) emit into the same vocabulary, so a serving trace and a
+ * pipeline breakdown open in the same viewer with the same category
+ * names.
+ *
+ * Span taxonomy -- `cat` is the subsystem, `name` is the operation:
+ *   serving:  serve.step
+ *   engine:   engine.layer engine.attention engine.unembed
+ *   moe:      moe.route moe.experts
+ *   pool:     pool.chunk
+ *   pipeline: per-resource unit/link names from the timeline
+ *
+ * Disabled mode is a null Tracer*: ScopedSpan and every emit helper
+ * no-op on nullptr, so instrumented code pays one pointer test.
+ */
+
+#ifndef HNLPU_OBS_TRACE_HH
+#define HNLPU_OBS_TRACE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace hnlpu::obs {
+
+class MetricsRegistry;
+
+/**
+ * Small dense id for the calling thread (0, 1, 2, ... in first-use
+ * order), stable for the life of the process.  Used as the trace "tid"
+ * so pool workers get compact, legible tracks in the viewer.
+ */
+std::uint32_t currentThreadId();
+
+/** Thread-safe collector of complete trace events. */
+class Tracer
+{
+  public:
+    Tracer();
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Microseconds of wall clock since this tracer was constructed. */
+    double nowMicros() const;
+
+    /**
+     * Record a complete event on the calling thread.  @p ts_us and
+     * @p dur_us are microseconds on the tracer's clock (nowMicros());
+     * @p args_json, when non-empty, must be a valid JSON object and is
+     * spliced verbatim into the event's "args".
+     */
+    void complete(std::string_view cat, std::string_view name,
+                  double ts_us, double dur_us,
+                  std::string_view args_json = {});
+
+    /**
+     * As complete(), but with an explicit track id -- used by the
+     * cycle-level simulators, whose "threads" are timeline resources
+     * and whose timestamps are simulated time, not wall clock.
+     */
+    void completeAt(std::string_view cat, std::string_view name,
+                    double ts_us, double dur_us, std::uint32_t tid,
+                    std::string_view args_json = {});
+
+    std::size_t eventCount() const;
+
+    /** The full trace as Chrome trace-event JSON. */
+    std::string toJson(int indent = 0) const;
+
+    /** Write toJson() to @p path; false (with a warn) on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        std::string cat, name, args;
+        double ts = 0.0, dur = 0.0;
+        std::uint32_t tid = 0;
+    };
+
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mutex_;
+    std::vector<Event> events_;
+};
+
+/**
+ * RAII span: times its own scope and records a complete event on
+ * destruction.  A null tracer makes construction and destruction
+ * near-free (one branch), which is the disabled mode.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(Tracer *tracer, std::string_view cat,
+               std::string_view name, std::string args_json = {});
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    Tracer *tracer_;
+    std::string cat_, name_, args_;
+    double startUs_ = 0.0;
+};
+
+/**
+ * The observability wiring handed down through ExecOptions/ExecContext:
+ * either pointer may be null independently.  Null == that facility is
+ * disabled; a default Sink (or a null Sink*) disables everything.
+ */
+struct Sink
+{
+    MetricsRegistry *metrics = nullptr;
+    Tracer *trace = nullptr;
+};
+
+/**
+ * TaskObserver implementation that turns every dispatched ThreadPool
+ * chunk into a "pool.chunk" span on the executing thread's track.
+ * Install with pool->setObserver(&tracer) while the pool is idle.
+ */
+class PoolTaskTracer : public TaskObserver
+{
+  public:
+    explicit PoolTaskTracer(Tracer *tracer) : tracer_(tracer) {}
+
+    void chunkBegin(std::size_t begin, std::size_t end) override;
+    void chunkEnd(std::size_t begin, std::size_t end) override;
+
+  private:
+    Tracer *tracer_;
+};
+
+} // namespace hnlpu::obs
+
+#endif // HNLPU_OBS_TRACE_HH

@@ -6,6 +6,8 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "model/model_zoo.hh"
+#include "obs/json.hh"
+#include "obs/trace.hh"
 #include "sim/event_queue.hh"
 
 namespace hnlpu {
@@ -479,6 +481,31 @@ PipelineSim::run()
             st.bd.add(TimeClass::Stall, stall);
             break;
           }
+        }
+        // Simulated-time span: one event per resource occupancy, on the
+        // stage's track (zero-length ops are not worth a viewer row).
+        if (cfg.trace && done > now) {
+            std::string_view res;
+            switch (op.type) {
+              case Op::Type::Unit:
+              case Op::Type::HbmStream:
+                res = units[op.unit].name();
+                break;
+              case Op::Type::Collective:
+                res = links[op.links.front()].name();
+                break;
+              case Op::Type::SingleSend:
+                res = links[op.links[(tok + st.next_op) %
+                                     op.links.size()]]
+                          .name();
+                break;
+            }
+            obs::JsonWriter args(0);
+            args.beginObject().field("token", tok).endObject();
+            cfg.trace->completeAt(
+                "pipeline", res, toSeconds(now) * 1e6,
+                toSeconds(done - now) * 1e6,
+                std::uint32_t(op.stage), args.str());
         }
         if (done == now) {
             advance(tok);

@@ -29,6 +29,10 @@
 
 namespace hnlpu {
 
+namespace obs {
+class Tracer;
+} // namespace obs
+
 /**
  * Fault knobs of the pipeline simulator (degraded-mode operation).
  *
@@ -101,6 +105,16 @@ struct PipelineConfig
     /** Fault injection; defaults to a clean system (bit-identical
      *  results to a build without the fault subsystem). */
     PipelineFaultConfig faults;
+
+    /**
+     * Optional span sink: every resource occupancy becomes a
+     * simulated-time "pipeline" span (name = unit/link name, track =
+     * pipeline stage, args.token = token index).  Purely observational
+     * -- results are identical with or without it.  Event volume is
+     * roughly tokens x layers x 10; trim warmup/measured tokens before
+     * tracing a long run.
+     */
+    obs::Tracer *trace = nullptr;
 };
 
 /** Per-token execution-time decomposition (paper Fig. 14 classes). */

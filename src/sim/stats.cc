@@ -45,6 +45,32 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
     hnlpu_assert(hi > lo && bins > 0, "bad histogram shape");
 }
 
+Histogram
+Histogram::fromSamples(const std::vector<double> &samples,
+                       std::size_t bins)
+{
+    if (samples.empty())
+        return Histogram(0.0, 1.0, bins);
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const double s : samples) {
+        lo = std::min(lo, s);
+        hi = std::max(hi, s);
+    }
+    // hi is exclusive: nudge it above the maximum so the largest sample
+    // falls in the top bin rather than the overflow bucket.
+    double span = hi - lo;
+    if (!(span > 0.0))
+        span = std::max(std::abs(hi), 1.0) * 1e-9;
+    double hi2 = hi + std::max(span * 1e-6, std::abs(hi) * 1e-12);
+    if (!(hi2 > hi))
+        hi2 = std::nextafter(hi, std::numeric_limits<double>::infinity());
+    Histogram h(lo, hi2, bins);
+    for (const double s : samples)
+        h.add(s);
+    return h;
+}
+
 void
 Histogram::add(double sample)
 {

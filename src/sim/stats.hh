@@ -41,6 +41,17 @@ class Histogram
   public:
     Histogram(double lo, double hi, std::size_t bins);
 
+    /**
+     * Build a histogram spanning exactly the observed samples: lo is
+     * the minimum, hi sits just above the maximum so no sample lands in
+     * the overflow bucket.  With a generous bin count this gives
+     * quantile() a resolution of (max-min)/bins, which is how the
+     * serving layer reports its p50/p95 latencies.  An empty sample set
+     * yields an empty histogram over [0, 1).
+     */
+    static Histogram fromSamples(const std::vector<double> &samples,
+                                 std::size_t bins);
+
     void add(double sample);
 
     std::uint64_t binCount(std::size_t bin) const;

@@ -4,9 +4,32 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/json.hh"
 #include "xformer/ops.hh"
 
 namespace hnlpu {
+
+namespace {
+
+/** The tracer carried by @p ctx, or null when tracing is off. */
+obs::Tracer *
+tracerOf(const ExecContext &ctx)
+{
+    return ctx.sink ? ctx.sink->trace : nullptr;
+}
+
+/** {"<key>": <value>} span args; empty (free) when tracing is off. */
+std::string
+spanArg(const obs::Tracer *trace, const char *key, std::size_t value)
+{
+    if (!trace)
+        return {};
+    obs::JsonWriter w(0);
+    w.beginObject().field(key, value).endObject();
+    return w.str();
+}
+
+} // namespace
 
 Engine::Engine(const TransformerConfig &cfg, const ModelWeights &weights,
                ExecPath path, unsigned activation_bits,
@@ -21,6 +44,23 @@ Engine::Engine(const TransformerConfig &cfg, const ModelWeights &weights,
     if (exec_.threads > 1)
         pool_ = std::make_unique<ThreadPool>(exec_.threads);
     stats_.expertHistogram.assign(cfg_.expertCount, 0);
+
+    ctx_.path = path_;
+    ctx_.activationBits = activationBits_;
+    ctx_.kernel = exec_.kernel;
+    ctx_.activity =
+        path_ == ExecPath::Hardwired ? &stats_.hnActivity : nullptr;
+    ctx_.pool = pool_.get();
+    ctx_.arena = &scratchArena_;
+    ctx_.sink = exec_.sink;
+
+    // With a tracer wired up, dispatched pool chunks become
+    // "pool.chunk" spans on the worker threads' tracks.
+    if (pool_ && exec_.sink && exec_.sink->trace) {
+        poolTracer_ =
+            std::make_unique<obs::PoolTaskTracer>(exec_.sink->trace);
+        pool_->setObserver(poolTracer_.get());
+    }
 }
 
 KvCache
@@ -37,25 +77,16 @@ Engine::attention(const BlockWeights &block, const Vec &x_norm,
     const std::size_t head_dim = cfg_.headDim;
     const std::size_t group = cfg_.gqaGroupSize();
     const std::size_t pos = cache.length();
-
-    HnActivity *act =
-        path_ == ExecPath::Hardwired ? &stats_.hnActivity : nullptr;
     ThreadPool *pool = pool_.get();
 
-    Vec q_flat = block.wq.forward(x_norm, path_, activationBits_,
-                                  act, pool, exec_.kernel,
-                                  &scratchArena_);
+    Vec q_flat = block.wq.forward(x_norm, ctx_);
     if (lora_) {
         const Vec dq = lora_->wq[layer].delta(x_norm);
         for (std::size_t i = 0; i < q_flat.size(); ++i)
             q_flat[i] += dq[i];
     }
-    const Vec k_flat = block.wk.forward(x_norm, path_, activationBits_,
-                                        act, pool, exec_.kernel,
-                                        &scratchArena_);
-    const Vec v_flat = block.wv.forward(x_norm, path_, activationBits_,
-                                        act, pool, exec_.kernel,
-                                        &scratchArena_);
+    const Vec k_flat = block.wk.forward(x_norm, ctx_);
+    const Vec v_flat = block.wv.forward(x_norm, ctx_);
 
     // Split into heads and apply RoPE to queries and keys.
     std::vector<Vec> q_heads(cfg_.queryHeads);
@@ -101,8 +132,7 @@ Engine::attention(const BlockWeights &block, const Vec &x_norm,
             }
         }
     });
-    Vec out = block.wo.forward(attn_out, path_, activationBits_, act,
-                               pool, exec_.kernel, &scratchArena_);
+    Vec out = block.wo.forward(attn_out, ctx_);
     if (lora_) {
         const Vec d_o = lora_->wo[layer].delta(attn_out);
         for (std::size_t i = 0; i < out.size(); ++i)
@@ -118,18 +148,23 @@ Engine::forwardHidden(std::size_t token_id, KvCache &cache)
 
     Vec x = weights_.embedding.row(token_id);
 
+    obs::Tracer *const trace = tracerOf(ctx_);
     for (std::size_t layer = 0; layer < cfg_.layerCount; ++layer) {
         const BlockWeights &block = weights_.blocks[layer];
+        obs::ScopedSpan layer_span(trace, "engine", "engine.layer",
+                                   spanArg(trace, "layer", layer));
 
         const Vec attn_in = rmsNorm(x, block.attnNormGain);
-        const Vec attn = attention(block, attn_in, layer, cache);
+        Vec attn;
+        {
+            obs::ScopedSpan span(trace, "engine", "engine.attention");
+            attn = attention(block, attn_in, layer, cache);
+        }
         x = add(x, attn);
 
         const Vec ffn_in = rmsNorm(x, block.ffnNormGain);
         std::vector<std::size_t> selected;
-        const Vec ffn = block.ffn.forward(ffn_in, path_, activationBits_,
-                                          &selected, pool_.get(),
-                                          exec_.kernel, &scratchArena_);
+        const Vec ffn = block.ffn.forward(ffn_in, ctx_, &selected);
         for (std::size_t e : selected)
             stats_.expertHistogram[e]++;
         x = add(x, ffn);
@@ -147,14 +182,9 @@ Engine::attentionBatch(const BlockWeights &block,
     const std::size_t batch = x_norms.size();
     const std::size_t head_dim = cfg_.headDim;
     const std::size_t group = cfg_.gqaGroupSize();
-
-    HnActivity *act =
-        path_ == ExecPath::Hardwired ? &stats_.hnActivity : nullptr;
     ThreadPool *pool = pool_.get();
 
-    std::vector<Vec> q_flat =
-        block.wq.forwardBatch(x_norms, path_, activationBits_, act, pool,
-                              exec_.kernel, &scratchArena_);
+    std::vector<Vec> q_flat = block.wq.forwardBatch(x_norms, ctx_);
     if (lora_) {
         for (std::size_t s = 0; s < batch; ++s) {
             const Vec dq = lora_->wq[layer].delta(x_norms[s]);
@@ -162,12 +192,8 @@ Engine::attentionBatch(const BlockWeights &block,
                 q_flat[s][i] += dq[i];
         }
     }
-    const std::vector<Vec> k_flat =
-        block.wk.forwardBatch(x_norms, path_, activationBits_, act, pool,
-                              exec_.kernel, &scratchArena_);
-    const std::vector<Vec> v_flat =
-        block.wv.forwardBatch(x_norms, path_, activationBits_, act, pool,
-                              exec_.kernel, &scratchArena_);
+    const std::vector<Vec> k_flat = block.wk.forwardBatch(x_norms, ctx_);
+    const std::vector<Vec> v_flat = block.wv.forwardBatch(x_norms, ctx_);
 
     // Per-sequence positions: each cache advances independently, so
     // RoPE and the causal context length are per column.
@@ -219,9 +245,7 @@ Engine::attentionBatch(const BlockWeights &block,
             }
         }
     });
-    std::vector<Vec> out =
-        block.wo.forwardBatch(attn_out, path_, activationBits_, act,
-                              pool, exec_.kernel, &scratchArena_);
+    std::vector<Vec> out = block.wo.forwardBatch(attn_out, ctx_);
     if (lora_) {
         for (std::size_t s = 0; s < batch; ++s) {
             const Vec d_o = lora_->wo[layer].delta(attn_out[s]);
@@ -258,14 +282,20 @@ Engine::forwardHiddenBatch(const std::vector<std::size_t> &tokens,
     for (std::size_t s = 0; s < batch; ++s)
         x[s] = weights_.embedding.row(tokens[s]);
 
+    obs::Tracer *const trace = tracerOf(ctx_);
     for (std::size_t layer = 0; layer < cfg_.layerCount; ++layer) {
         const BlockWeights &block = weights_.blocks[layer];
+        obs::ScopedSpan layer_span(trace, "engine", "engine.layer",
+                                   spanArg(trace, "layer", layer));
 
         std::vector<Vec> attn_in(batch);
         for (std::size_t s = 0; s < batch; ++s)
             attn_in[s] = rmsNorm(x[s], block.attnNormGain);
-        const std::vector<Vec> attn =
-            attentionBatch(block, attn_in, layer, caches);
+        std::vector<Vec> attn;
+        {
+            obs::ScopedSpan span(trace, "engine", "engine.attention");
+            attn = attentionBatch(block, attn_in, layer, caches);
+        }
         for (std::size_t s = 0; s < batch; ++s)
             x[s] = add(x[s], attn[s]);
 
@@ -274,9 +304,7 @@ Engine::forwardHiddenBatch(const std::vector<std::size_t> &tokens,
             ffn_in[s] = rmsNorm(x[s], block.ffnNormGain);
         std::vector<std::vector<std::size_t>> selected;
         const std::vector<Vec> ffn =
-            block.ffn.forwardBatch(ffn_in, path_, activationBits_,
-                                   &selected, pool_.get(), exec_.kernel,
-                                   &scratchArena_);
+            block.ffn.forwardBatch(ffn_in, ctx_, &selected);
         for (std::size_t s = 0; s < batch; ++s) {
             for (std::size_t e : selected[s])
                 stats_.expertHistogram[e]++;
@@ -318,13 +346,11 @@ Engine::forwardTokenBatch(const std::vector<std::size_t> &tokens,
     want_hidden.reserve(want.size());
     for (std::size_t s : want)
         want_hidden.push_back(std::move(hidden[s]));
-    HnActivity *act =
-        path_ == ExecPath::Hardwired ? &stats_.hnActivity : nullptr;
+    obs::Tracer *const trace = tracerOf(ctx_);
+    obs::ScopedSpan span(trace, "engine", "engine.unembed",
+                         spanArg(trace, "batch", want.size()));
     std::vector<Vec> logits =
-        weights_.unembedding.forwardBatch(want_hidden, path_,
-                                          activationBits_, act,
-                                          pool_.get(), exec_.kernel,
-                                          &scratchArena_);
+        weights_.unembedding.forwardBatch(want_hidden, ctx_);
     for (std::size_t i = 0; i < want.size(); ++i)
         out[want[i]] = std::move(logits[i]);
     return out;
@@ -333,13 +359,9 @@ Engine::forwardTokenBatch(const std::vector<std::size_t> &tokens,
 Vec
 Engine::forwardToken(std::size_t token_id, KvCache &cache)
 {
-    HnActivity *act =
-        path_ == ExecPath::Hardwired ? &stats_.hnActivity : nullptr;
     const Vec final_norm = forwardHidden(token_id, cache);
-    return weights_.unembedding.forward(final_norm, path_,
-                                        activationBits_, act,
-                                        pool_.get(), exec_.kernel,
-                                        &scratchArena_);
+    obs::ScopedSpan span(tracerOf(ctx_), "engine", "engine.unembed");
+    return weights_.unembedding.forward(final_norm, ctx_);
 }
 
 void

@@ -18,6 +18,7 @@
 
 #include "common/thread_pool.hh"
 #include "model/transformer_config.hh"
+#include "obs/trace.hh"
 #include "xformer/kv_cache.hh"
 #include "xformer/lora.hh"
 #include "xformer/sampler.hh"
@@ -51,6 +52,13 @@ struct ExecOptions
      * single-sequence Engine entry points.
      */
     std::size_t batchSlots = 1;
+    /**
+     * Observability wiring (metrics registry and/or tracer); null
+     * disables both.  The sink must outlive the engine.  Observability
+     * never changes decoded tokens: spans/counters only read the
+     * computation, and disabled mode costs one pointer test per site.
+     */
+    const obs::Sink *sink = nullptr;
 };
 
 /** Aggregate statistics of a generation run. */
@@ -69,6 +77,10 @@ class Engine
     Engine(const TransformerConfig &cfg, const ModelWeights &weights,
            ExecPath path, unsigned activation_bits = 8,
            const ExecOptions &exec = {});
+
+    // Not copyable or movable: execContext() points into this engine.
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
 
     /**
      * Run one token through the model.
@@ -144,6 +156,14 @@ class Engine
     ExecPath path() const { return path_; }
     const ExecOptions &execOptions() const { return exec_; }
 
+    /**
+     * The bundled execution context every weight-bearing call below
+     * this engine reads (path / bits / kernel / activity / pool /
+     * scratch arena / obs sink).  The serving layer shares it for its
+     * own span and metric emission.
+     */
+    const ExecContext &execContext() const { return ctx_; }
+
   private:
     /** GQA attention for one block at the cache's current position. */
     Vec attention(const BlockWeights &block, const Vec &x_norm,
@@ -179,6 +199,14 @@ class Engine
     HnScratchArena scratchArena_;
     const LoraSet *lora_ = nullptr;
     EngineStats stats_;
+    /**
+     * Built once in the constructor; points at pool_, scratchArena_ and
+     * stats_.hnActivity, so the engine must not be moved (copying is
+     * already impossible: weights_ is a reference member).
+     */
+    ExecContext ctx_;
+    /** Installed on pool_ when the sink carries a tracer. */
+    std::unique_ptr<obs::PoolTaskTracer> poolTracer_;
 };
 
 } // namespace hnlpu

@@ -65,20 +65,19 @@ Linear::hardwired() const
 }
 
 Vec
-Linear::forward(const Vec &x, ExecPath path, unsigned activation_bits,
-                HnActivity *activity, ThreadPool *pool, HnKernel kernel,
-                HnScratchArena *arena) const
+Linear::forward(const Vec &x, const ExecContext &ctx) const
 {
     hnlpu_assert(x.size() == inDim_, "linear input size mismatch: ",
                  x.size(), " vs ", inDim_);
-    if (path == ExecPath::Hardwired) {
-        return hardwired().gemvReal(x, activation_bits, activity, pool,
-                                    kernel, arena);
+    if (ctx.path == ExecPath::Hardwired) {
+        return hardwired().gemvReal(x, ctx.activationBits, ctx.activity,
+                                    ctx.pool, ctx.kernel, ctx.arena);
     }
 
     Vec y(outDim_, 0.0);
     const auto &values = fp4ValueTable();
-    parallelFor(pool, outDim_, [&](std::size_t begin, std::size_t end) {
+    parallelFor(ctx.pool, outDim_,
+                [&](std::size_t begin, std::size_t end) {
         for (std::size_t r = begin; r < end; ++r) {
             double acc = 0.0;
             const Fp4 *row = weights_.data() + r * inDim_;
@@ -94,10 +93,8 @@ Linear::forward(const Vec &x, ExecPath path, unsigned activation_bits,
 }
 
 std::vector<Vec>
-Linear::forwardBatch(const std::vector<Vec> &xs, ExecPath path,
-                     unsigned activation_bits, HnActivity *activity,
-                     ThreadPool *pool, HnKernel kernel,
-                     HnScratchArena *arena) const
+Linear::forwardBatch(const std::vector<Vec> &xs,
+                     const ExecContext &ctx) const
 {
     const std::size_t batch = xs.size();
     if (batch == 0)
@@ -109,18 +106,18 @@ Linear::forwardBatch(const std::vector<Vec> &xs, ExecPath path,
     }
     if (batch == 1) {
         std::vector<Vec> ys(1);
-        ys[0] = forward(xs[0], path, activation_bits, activity, pool,
-                        kernel, arena);
+        ys[0] = forward(xs[0], ctx);
         return ys;
     }
-    if (path == ExecPath::Hardwired) {
-        return hardwired().gemmReal(xs, activation_bits, activity, pool,
-                                    kernel, arena);
+    if (ctx.path == ExecPath::Hardwired) {
+        return hardwired().gemmReal(xs, ctx.activationBits, ctx.activity,
+                                    ctx.pool, ctx.kernel, ctx.arena);
     }
 
     std::vector<Vec> ys(batch, Vec(outDim_, 0.0));
     const auto &values = fp4ValueTable();
-    parallelFor(pool, outDim_, [&](std::size_t begin, std::size_t end) {
+    parallelFor(ctx.pool, outDim_,
+                [&](std::size_t begin, std::size_t end) {
         for (std::size_t r = begin; r < end; ++r) {
             const Fp4 *row = weights_.data() + r * inDim_;
             std::size_t b = 0;

@@ -26,10 +26,39 @@
 
 namespace hnlpu {
 
+namespace obs {
+struct Sink;
+}
+
 class ThreadPool;
 
 /** Which GEMV implementation a Linear uses. */
 enum class ExecPath { Reference, Hardwired };
+
+/**
+ * Bundled execution knobs, threaded by const-ref through every
+ * weight-bearing call (Linear / MoeLayer / Engine / DistributedEngine).
+ * This replaces the old seven-parameter call lists: a caller builds one
+ * ExecContext up front and every layer below reads the same struct, so
+ * adding a knob (as `sink` was) no longer touches every signature in
+ * the stack.
+ *
+ * All pointers are optional; null means "feature off".  `sink` carries
+ * the observability wiring (obs::Sink: metrics registry + tracer) --
+ * disabled mode is a null sink and costs one pointer test per span
+ * site, which is what keeps tokens bit-identical and overhead in the
+ * noise with observability off.
+ */
+struct ExecContext
+{
+    ExecPath path = ExecPath::Reference;
+    unsigned activationBits = 8;
+    HnKernel kernel = HnKernel::Packed;
+    HnActivity *activity = nullptr;
+    ThreadPool *pool = nullptr;
+    HnScratchArena *arena = nullptr;
+    const obs::Sink *sink = nullptr;
+};
 
 /** An out x in projection with FP4 weights. */
 class Linear
@@ -55,41 +84,55 @@ class Linear
                          std::uint64_t seed);
 
     /**
-     * y = W x on the chosen path.
-     * @param activation_bits bit width of the hardwired serial stream
-     * @param activity optional HN activity accumulation (hardwired only)
-     * @param pool optional thread pool; output rows are partitioned
-     *        into disjoint contiguous chunks, so the parallel result is
-     *        bit-exactly the serial one
-     * @param kernel hardwired-path GEMV kernel; Packed (default) and
-     *        Scalar are bit-identical in outputs and activity counters
-     * @param arena optional scratch recycler for the Packed kernel's
-     *        bit-plane buffer (hardwired only)
+     * y = W x on the path selected by @p ctx.  With ctx.pool set,
+     * output rows are partitioned into disjoint contiguous chunks, so
+     * the parallel result is bit-exactly the serial one; ctx.kernel
+     * Packed (default) and Scalar are likewise bit-identical in both
+     * outputs and activity counters.
      */
-    Vec forward(const Vec &x, ExecPath path,
-                unsigned activation_bits = 8,
-                HnActivity *activity = nullptr,
-                ThreadPool *pool = nullptr,
-                HnKernel kernel = HnKernel::Packed,
-                HnScratchArena *arena = nullptr) const;
+    Vec forward(const Vec &x, const ExecContext &ctx) const;
 
     /**
      * Batched y_b = W x_b: one weight-side traversal serves every
      * input column (HnArray::gemmSerial on the hardwired path; on the
      * reference path each weight row is loaded once and multiplied
      * into per-column accumulators).  Column b is bit-identical to
-     * forward(xs[b], ...) on both paths -- the batched engine and the
+     * forward(xs[b], ctx) on both paths -- the batched engine and the
      * serving layer rely on this to keep batched decode bit-exact with
-     * sequential decode (tests/test_serving.cc).  @p activity
+     * sequential decode (tests/test_serving.cc).  ctx.activity
      * accumulates the exact sum of per-column counters.
      */
     std::vector<Vec> forwardBatch(const std::vector<Vec> &xs,
-                                  ExecPath path,
-                                  unsigned activation_bits = 8,
-                                  HnActivity *activity = nullptr,
-                                  ThreadPool *pool = nullptr,
-                                  HnKernel kernel = HnKernel::Packed,
-                                  HnScratchArena *arena = nullptr) const;
+                                  const ExecContext &ctx) const;
+
+    /**
+     * @deprecated Spread-parameter forms kept for source compatibility;
+     * they bundle their arguments into an ExecContext and forward.  New
+     * code should build an ExecContext and use the overloads above.
+     */
+    Vec
+    forward(const Vec &x, ExecPath path, unsigned activation_bits = 8,
+            HnActivity *activity = nullptr, ThreadPool *pool = nullptr,
+            HnKernel kernel = HnKernel::Packed,
+            HnScratchArena *arena = nullptr) const
+    {
+        return forward(x, ExecContext{path, activation_bits, kernel,
+                                      activity, pool, arena, nullptr});
+    }
+
+    /** @copydoc forward(const Vec&,ExecPath,unsigned,HnActivity*,ThreadPool*,HnKernel,HnScratchArena*) const */
+    std::vector<Vec>
+    forwardBatch(const std::vector<Vec> &xs, ExecPath path,
+                 unsigned activation_bits = 8,
+                 HnActivity *activity = nullptr,
+                 ThreadPool *pool = nullptr,
+                 HnKernel kernel = HnKernel::Packed,
+                 HnScratchArena *arena = nullptr) const
+    {
+        return forwardBatch(xs,
+                            ExecContext{path, activation_bits, kernel,
+                                        activity, pool, arena, nullptr});
+    }
 
     std::size_t outDim() const { return outDim_; }
     std::size_t inDim() const { return inDim_; }

@@ -45,7 +45,10 @@ LoraAdapter::apply(const Linear &frozen, const Vec &x, ExecPath path,
     hnlpu_assert(frozen.outDim() == outDim() &&
                      frozen.inDim() == inDim(),
                  "adapter shape mismatch");
-    Vec y = frozen.forward(x, path, activation_bits);
+    ExecContext ctx;
+    ctx.path = path;
+    ctx.activationBits = activation_bits;
+    Vec y = frozen.forward(x, ctx);
     const Vec d = delta(x);
     for (std::size_t i = 0; i < y.size(); ++i)
         y[i] += d[i];

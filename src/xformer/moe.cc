@@ -4,9 +4,39 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "obs/trace.hh"
 #include "xformer/ops.hh"
 
 namespace hnlpu {
+
+namespace {
+
+/** The tracer carried by @p ctx, or null when tracing is off. */
+obs::Tracer *
+tracerOf(const ExecContext &ctx)
+{
+    return ctx.sink ? ctx.sink->trace : nullptr;
+}
+
+/**
+ * Execution context for the expert projections: same path / bits /
+ * kernel / arena as the layer call, but no pool (experts already run
+ * under the layer's parallelFor; a nested one would be inline anyway)
+ * and no activity/sink (matching the historical per-expert calls, and
+ * keeping span emission off the worker threads).
+ */
+ExecContext
+expertContext(const ExecContext &ctx)
+{
+    ExecContext sub;
+    sub.path = ctx.path;
+    sub.activationBits = ctx.activationBits;
+    sub.kernel = ctx.kernel;
+    sub.arena = ctx.arena;
+    return sub;
+}
+
+} // namespace
 
 MoeLayer::MoeLayer(Linear router, std::vector<Expert> experts,
                    std::size_t active_experts)
@@ -43,28 +73,30 @@ MoeLayer::expert(std::size_t index) const
 }
 
 Vec
-MoeLayer::forward(const Vec &x_norm, ExecPath path,
-                  unsigned activation_bits,
-                  std::vector<std::size_t> *selected,
-                  ThreadPool *pool, HnKernel kernel,
-                  HnScratchArena *arena) const
+MoeLayer::forward(const Vec &x_norm, const ExecContext &ctx,
+                  std::vector<std::size_t> *selected) const
 {
+    obs::Tracer *const trace = tracerOf(ctx);
     std::vector<std::size_t> chosen;
     Vec gate_weights;
-    if (isDense_ || experts_.size() == 1) {
-        chosen = {0};
-        gate_weights = {1.0};
-    } else {
-        // The router always runs in reference precision: it is tiny
-        // (0.01% of weights) and replicated on every chip, and its
-        // argmax ordering must be stable across paths for the
-        // equivalence tests to be meaningful.
-        const Vec logits = router_.forward(x_norm, ExecPath::Reference);
-        chosen = topK(logits, activeExperts_);
-        Vec selected_logits(chosen.size());
-        for (std::size_t i = 0; i < chosen.size(); ++i)
-            selected_logits[i] = logits[chosen[i]];
-        gate_weights = softmax(selected_logits);
+    {
+        obs::ScopedSpan span(trace, "moe", "moe.route");
+        if (isDense_ || experts_.size() == 1) {
+            chosen = {0};
+            gate_weights = {1.0};
+        } else {
+            // The router always runs in reference precision: it is tiny
+            // (0.01% of weights) and replicated on every chip, and its
+            // argmax ordering must be stable across paths for the
+            // equivalence tests to be meaningful.
+            const Vec logits =
+                router_.forward(x_norm, ExecPath::Reference);
+            chosen = topK(logits, activeExperts_);
+            Vec selected_logits(chosen.size());
+            for (std::size_t i = 0; i < chosen.size(); ++i)
+                selected_logits[i] = logits[chosen[i]];
+            gate_weights = softmax(selected_logits);
+        }
     }
     if (selected)
         *selected = chosen;
@@ -74,23 +106,21 @@ MoeLayer::forward(const Vec &x_norm, ExecPath path,
     // below runs serially in routing order, so the floating-point
     // accumulation order -- and hence the result -- matches the serial
     // execution exactly.
+    const ExecContext sub = expertContext(ctx);
     std::vector<Vec> expert_outs(chosen.size());
-    parallelFor(pool, chosen.size(),
-                [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-            const Expert &ex = experts_[chosen[i]];
-            const Vec up = ex.up.forward(x_norm, path, activation_bits,
-                                         nullptr, nullptr, kernel,
-                                         arena);
-            const Vec gate =
-                ex.gate.forward(x_norm, path, activation_bits, nullptr,
-                                nullptr, kernel, arena);
-            const Vec activated = swiGlu(gate, up);
-            expert_outs[i] =
-                ex.down.forward(activated, path, activation_bits,
-                                nullptr, nullptr, kernel, arena);
-        }
-    });
+    {
+        obs::ScopedSpan span(trace, "moe", "moe.experts");
+        parallelFor(ctx.pool, chosen.size(),
+                    [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                const Expert &ex = experts_[chosen[i]];
+                const Vec up = ex.up.forward(x_norm, sub);
+                const Vec gate = ex.gate.forward(x_norm, sub);
+                const Vec activated = swiGlu(gate, up);
+                expert_outs[i] = ex.down.forward(activated, sub);
+            }
+        });
+    }
 
     Vec out(experts_[0].down.outDim(), 0.0);
     for (std::size_t i = 0; i < chosen.size(); ++i) {
@@ -101,11 +131,9 @@ MoeLayer::forward(const Vec &x_norm, ExecPath path,
 }
 
 std::vector<Vec>
-MoeLayer::forwardBatch(const std::vector<Vec> &xs, ExecPath path,
-                       unsigned activation_bits,
-                       std::vector<std::vector<std::size_t>> *selected,
-                       ThreadPool *pool, HnKernel kernel,
-                       HnScratchArena *arena) const
+MoeLayer::forwardBatch(
+    const std::vector<Vec> &xs, const ExecContext &ctx,
+    std::vector<std::vector<std::size_t>> *selected) const
 {
     const std::size_t batch = xs.size();
     if (selected)
@@ -114,31 +142,35 @@ MoeLayer::forwardBatch(const std::vector<Vec> &xs, ExecPath path,
         return {};
     if (batch == 1) {
         std::vector<Vec> out(1);
-        out[0] = forward(xs[0], path, activation_bits,
-                         selected ? &(*selected)[0] : nullptr, pool,
-                         kernel, arena);
+        out[0] =
+            forward(xs[0], ctx, selected ? &(*selected)[0] : nullptr);
         return out;
     }
+
+    obs::Tracer *const trace = tracerOf(ctx);
 
     // Route every token independently; the batched router column is
     // bit-identical to the single-token router call, so top-k picks
     // and gate weights match forward() exactly.
     std::vector<std::vector<std::size_t>> chosen(batch);
     std::vector<Vec> gates(batch);
-    if (isDense_ || experts_.size() == 1) {
-        for (std::size_t t = 0; t < batch; ++t) {
-            chosen[t] = {0};
-            gates[t] = {1.0};
-        }
-    } else {
-        const std::vector<Vec> logits =
-            router_.forwardBatch(xs, ExecPath::Reference);
-        for (std::size_t t = 0; t < batch; ++t) {
-            chosen[t] = topK(logits[t], activeExperts_);
-            Vec selected_logits(chosen[t].size());
-            for (std::size_t i = 0; i < chosen[t].size(); ++i)
-                selected_logits[i] = logits[t][chosen[t][i]];
-            gates[t] = softmax(selected_logits);
+    {
+        obs::ScopedSpan span(trace, "moe", "moe.route");
+        if (isDense_ || experts_.size() == 1) {
+            for (std::size_t t = 0; t < batch; ++t) {
+                chosen[t] = {0};
+                gates[t] = {1.0};
+            }
+        } else {
+            const std::vector<Vec> logits =
+                router_.forwardBatch(xs, ExecPath::Reference);
+            for (std::size_t t = 0; t < batch; ++t) {
+                chosen[t] = topK(logits[t], activeExperts_);
+                Vec selected_logits(chosen[t].size());
+                for (std::size_t i = 0; i < chosen[t].size(); ++i)
+                    selected_logits[i] = logits[t][chosen[t][i]];
+                gates[t] = softmax(selected_logits);
+            }
         }
     }
     if (selected)
@@ -168,33 +200,34 @@ MoeLayer::forwardBatch(const std::vector<Vec> &xs, ExecPath path,
     for (std::size_t t = 0; t < batch; ++t)
         expert_outs[t].resize(chosen[t].size());
 
-    parallelFor(pool, active.size(),
-                [&](std::size_t begin, std::size_t end) {
-        for (std::size_t g = begin; g < end; ++g) {
-            const std::size_t e = active[g];
-            const auto &members = groups[e];
-            const Expert &ex = experts_[e];
-            std::vector<Vec> inputs(members.size());
-            for (std::size_t m = 0; m < members.size(); ++m)
-                inputs[m] = xs[members[m].first];
-            const std::vector<Vec> up =
-                ex.up.forwardBatch(inputs, path, activation_bits,
-                                   nullptr, nullptr, kernel, arena);
-            const std::vector<Vec> gate =
-                ex.gate.forwardBatch(inputs, path, activation_bits,
-                                     nullptr, nullptr, kernel, arena);
-            std::vector<Vec> activated(members.size());
-            for (std::size_t m = 0; m < members.size(); ++m)
-                activated[m] = swiGlu(gate[m], up[m]);
-            std::vector<Vec> down =
-                ex.down.forwardBatch(activated, path, activation_bits,
-                                     nullptr, nullptr, kernel, arena);
-            for (std::size_t m = 0; m < members.size(); ++m) {
-                expert_outs[members[m].first][members[m].second] =
-                    std::move(down[m]);
+    const ExecContext sub = expertContext(ctx);
+    {
+        obs::ScopedSpan span(trace, "moe", "moe.experts");
+        parallelFor(ctx.pool, active.size(),
+                    [&](std::size_t begin, std::size_t end) {
+            for (std::size_t g = begin; g < end; ++g) {
+                const std::size_t e = active[g];
+                const auto &members = groups[e];
+                const Expert &ex = experts_[e];
+                std::vector<Vec> inputs(members.size());
+                for (std::size_t m = 0; m < members.size(); ++m)
+                    inputs[m] = xs[members[m].first];
+                const std::vector<Vec> up =
+                    ex.up.forwardBatch(inputs, sub);
+                const std::vector<Vec> gate =
+                    ex.gate.forwardBatch(inputs, sub);
+                std::vector<Vec> activated(members.size());
+                for (std::size_t m = 0; m < members.size(); ++m)
+                    activated[m] = swiGlu(gate[m], up[m]);
+                std::vector<Vec> down =
+                    ex.down.forwardBatch(activated, sub);
+                for (std::size_t m = 0; m < members.size(); ++m) {
+                    expert_outs[members[m].first][members[m].second] =
+                        std::move(down[m]);
+                }
             }
-        }
-    });
+        });
+    }
 
     std::vector<Vec> out(batch, Vec(experts_[0].down.outDim(), 0.0));
     for (std::size_t t = 0; t < batch; ++t) {

@@ -44,22 +44,17 @@ class MoeLayer
     static MoeLayer dense(Expert expert);
 
     /**
-     * Forward the normalised hidden state.
+     * Forward the normalised hidden state under @p ctx.  With ctx.pool
+     * set the chosen experts evaluate in parallel into private buffers,
+     * then combine serially in routing order, so the result is
+     * bit-exact vs serial.  ctx.kernel/ctx.arena drive the expert
+     * projections; the router always runs in reference float.  When
+     * ctx.sink carries a tracer, "moe.route" / "moe.experts" spans are
+     * emitted (cat "moe").
      * @param selected optional out-param for the chosen expert indices
-     * @param pool optional thread pool; the chosen experts evaluate in
-     *        parallel into private buffers, then combine serially in
-     *        routing order, so the result is bit-exact vs serial
-     * @param kernel hardwired-path GEMV kernel for the expert
-     *        projections (the router always runs in reference float)
-     * @param arena optional Packed-kernel scratch recycler; concurrent
-     *        experts each lease their own scratch from it
      */
-    Vec forward(const Vec &x_norm, ExecPath path,
-                unsigned activation_bits = 8,
-                std::vector<std::size_t> *selected = nullptr,
-                ThreadPool *pool = nullptr,
-                HnKernel kernel = HnKernel::Packed,
-                HnScratchArena *arena = nullptr) const;
+    Vec forward(const Vec &x_norm, const ExecContext &ctx,
+                std::vector<std::size_t> *selected = nullptr) const;
 
     /**
      * Batched forward: every token routes independently (batched
@@ -67,18 +62,47 @@ class MoeLayer
      * same expert are grouped so that expert's up/gate/down
      * projections traverse their weights once for the whole group
      * (Linear::forwardBatch).  Token t's output is bit-identical to
-     * forward(xs[t], ...): per-column projection exactness plus a
+     * forward(xs[t], ctx): per-column projection exactness plus a
      * combine that still runs in each token's own routing order.
      * @param selected optional per-token chosen expert indices
-     * @param pool optional pool; expert groups evaluate in parallel
-     *        into disjoint buffers (bit-exact vs serial)
      */
     std::vector<Vec> forwardBatch(
-        const std::vector<Vec> &xs, ExecPath path,
-        unsigned activation_bits = 8,
-        std::vector<std::vector<std::size_t>> *selected = nullptr,
-        ThreadPool *pool = nullptr, HnKernel kernel = HnKernel::Packed,
-        HnScratchArena *arena = nullptr) const;
+        const std::vector<Vec> &xs, const ExecContext &ctx,
+        std::vector<std::vector<std::size_t>> *selected = nullptr) const;
+
+    /**
+     * @deprecated Spread-parameter forms kept for source compatibility;
+     * they bundle their arguments into an ExecContext and forward.
+     */
+    Vec
+    forward(const Vec &x_norm, ExecPath path,
+            unsigned activation_bits = 8,
+            std::vector<std::size_t> *selected = nullptr,
+            ThreadPool *pool = nullptr,
+            HnKernel kernel = HnKernel::Packed,
+            HnScratchArena *arena = nullptr) const
+    {
+        return forward(x_norm,
+                       ExecContext{path, activation_bits, kernel,
+                                   nullptr, pool, arena, nullptr},
+                       selected);
+    }
+
+    /** @copydoc forward(const Vec&,ExecPath,unsigned,std::vector<std::size_t>*,ThreadPool*,HnKernel,HnScratchArena*) const */
+    std::vector<Vec>
+    forwardBatch(const std::vector<Vec> &xs, ExecPath path,
+                 unsigned activation_bits = 8,
+                 std::vector<std::vector<std::size_t>> *selected =
+                     nullptr,
+                 ThreadPool *pool = nullptr,
+                 HnKernel kernel = HnKernel::Packed,
+                 HnScratchArena *arena = nullptr) const
+    {
+        return forwardBatch(xs,
+                            ExecContext{path, activation_bits, kernel,
+                                        nullptr, pool, arena, nullptr},
+                            selected);
+    }
 
     std::size_t expertCount() const { return experts_.size(); }
     std::size_t activeExperts() const { return activeExperts_; }

@@ -1,29 +1,22 @@
 #include "xformer/serving.hh"
 
-#include <algorithm>
 #include <chrono>
-#include <cmath>
-#include <sstream>
 
 #include "common/logging.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "sim/stats.hh"
 
 namespace hnlpu {
 
 namespace {
 
-/** Nearest-rank percentile (q in (0, 1]) of @p values. */
-double
-percentile(std::vector<double> values, double q)
-{
-    if (values.empty())
-        return 0.0;
-    std::sort(values.begin(), values.end());
-    std::size_t rank =
-        static_cast<std::size_t>(std::ceil(q * double(values.size())));
-    if (rank > 0)
-        --rank;
-    return values[std::min(values.size() - 1, rank)];
-}
+/**
+ * Quantile resolution for the per-request wall metrics: the histogram
+ * spans exactly [min, max] of the observed samples, so 4096 bins put
+ * the bin-midpoint error at ~0.01% of the observed range.
+ */
+constexpr std::size_t kQuantileBins = 4096;
 
 } // namespace
 
@@ -78,6 +71,25 @@ ServingEngine::run()
                    std::chrono::steady_clock::now() - t0)
             .count();
     };
+
+    // Observability wiring from the engine's execution context: spans
+    // and counters only read the computation, so the decoded tokens are
+    // bit-identical with or without a sink (tests/test_obs.cc).
+    const obs::Sink *const sink = engine_.execContext().sink;
+    obs::Tracer *const trace = sink ? sink->trace : nullptr;
+    obs::MetricsRegistry *const metrics = sink ? sink->metrics : nullptr;
+    obs::Counter *c_steps = nullptr, *c_forwards = nullptr,
+                 *c_decoded = nullptr;
+    obs::Gauge *g_queue_depth = nullptr, *g_busy_slots = nullptr;
+    obs::LatencyHistogram *h_step = nullptr;
+    if (metrics) {
+        c_steps = metrics->counter("serving.steps");
+        c_forwards = metrics->counter("serving.forwards");
+        c_decoded = metrics->counter("serving.decoded_tokens");
+        g_queue_depth = metrics->gauge("serving.queue_depth");
+        g_busy_slots = metrics->gauge("serving.busy_slots");
+        h_step = metrics->latency("serving.step_seconds");
+    }
 
     std::vector<Slot> slots(slots_);
     std::size_t next = 0;     // next queue index to admit (FIFO)
@@ -151,8 +163,33 @@ ServingEngine::run()
             slot_index.push_back(s);
         }
         hnlpu_assert(!tokens.empty(), "serving step with no busy slot");
-        const std::vector<Vec> logits =
-            engine_.forwardTokenBatch(tokens, caches, want);
+        if (metrics) {
+            // Queue depth counts requests not yet admitted (whether or
+            // not they have "arrived" on the step clock); busy slots is
+            // exactly this step's batch size.
+            g_queue_depth->set(double(n - next));
+            g_busy_slots->set(double(tokens.size()));
+            c_steps->add(1);
+            c_forwards->add(tokens.size());
+        }
+        std::string step_args;
+        if (trace) {
+            obs::JsonWriter w(0);
+            w.beginObject()
+                .field("step", step)
+                .field("batch", tokens.size())
+                .endObject();
+            step_args = w.str();
+        }
+        const double step_t0 = elapsed();
+        std::vector<Vec> logits;
+        {
+            obs::ScopedSpan span(trace, "serving", "serve.step",
+                                 std::move(step_args));
+            logits = engine_.forwardTokenBatch(tokens, caches, want);
+        }
+        if (h_step)
+            h_step->observe(elapsed() - step_t0);
         stats_.forwards += tokens.size();
         ++stats_.executedSteps;
 
@@ -164,6 +201,8 @@ ServingEngine::run()
             if (want[c] == 0)
                 continue;
             out.tokens.push_back(slot.sampler->sample(logits[c]));
+            if (c_decoded)
+                c_decoded->add(1);
             if (out.tokens.size() == 1)
                 out.firstTokenStep = step + 1;
             if (out.tokens.size() == req.decodeTokens) {
@@ -181,7 +220,7 @@ ServingEngine::run()
     step_wall.push_back(elapsed());
 
     std::vector<double> ttfts(n), latencies(n);
-    double queue_sum = 0.0;
+    Accumulator queue_acc;
     for (std::size_t i = 0; i < n; ++i) {
         ServingOutcome &out = outcomes_[i];
         const double arrival = step_wall[out.arrivalStep];
@@ -194,8 +233,14 @@ ServingEngine::run()
             service > 0 ? double(out.tokens.size()) / service : 0.0;
         ttfts[i] = out.ttftSeconds;
         latencies[i] = out.latencySeconds;
-        queue_sum += out.queueSeconds;
+        queue_acc.add(out.queueSeconds);
         stats_.decodedTokens += out.tokens.size();
+        if (metrics) {
+            metrics->latency("serving.ttft_seconds")
+                ->observe(out.ttftSeconds);
+            metrics->latency("serving.latency_seconds")
+                ->observe(out.latencySeconds);
+        }
     }
     stats_.wallSeconds = step_wall.back();
     stats_.aggregateTokensPerSecond =
@@ -207,11 +252,17 @@ ServingEngine::run()
             ? double(stats_.forwards) /
                   double(stats_.executedSteps * slots_)
             : 0.0;
-    stats_.meanQueueSeconds = queue_sum / double(n);
-    stats_.ttftP50Seconds = percentile(ttfts, 0.50);
-    stats_.ttftP95Seconds = percentile(ttfts, 0.95);
-    stats_.latencyP50Seconds = percentile(latencies, 0.50);
-    stats_.latencyP95Seconds = percentile(latencies, 0.95);
+    stats_.meanQueueSeconds = queue_acc.mean();
+    // Percentiles via the shared sim::Histogram quantile API (one
+    // histogram per metric, spanning exactly the observed samples).
+    const Histogram ttft_hist =
+        Histogram::fromSamples(ttfts, kQuantileBins);
+    const Histogram latency_hist =
+        Histogram::fromSamples(latencies, kQuantileBins);
+    stats_.ttftP50Seconds = ttft_hist.quantile(0.50);
+    stats_.ttftP95Seconds = ttft_hist.quantile(0.95);
+    stats_.latencyP50Seconds = latency_hist.quantile(0.50);
+    stats_.latencyP95Seconds = latency_hist.quantile(0.95);
 
     queue_.clear();
     return outcomes_;
@@ -220,43 +271,46 @@ ServingEngine::run()
 std::string
 ServingEngine::metricsJson() const
 {
-    std::ostringstream os;
-    os.precision(9);
-    os << "{\n";
-    os << "  \"slots\": " << stats_.slots << ",\n";
-    os << "  \"requests\": " << stats_.requests << ",\n";
-    os << "  \"executed_steps\": " << stats_.executedSteps << ",\n";
-    os << "  \"forwards\": " << stats_.forwards << ",\n";
-    os << "  \"decoded_tokens\": " << stats_.decodedTokens << ",\n";
-    os << "  \"wall_seconds\": " << stats_.wallSeconds << ",\n";
-    os << "  \"aggregate_tokens_per_second\": "
-       << stats_.aggregateTokensPerSecond << ",\n";
-    os << "  \"mean_occupancy\": " << stats_.meanOccupancy << ",\n";
-    os << "  \"mean_queue_seconds\": " << stats_.meanQueueSeconds
-       << ",\n";
-    os << "  \"ttft_seconds\": {\"p50\": " << stats_.ttftP50Seconds
-       << ", \"p95\": " << stats_.ttftP95Seconds << "},\n";
-    os << "  \"latency_seconds\": {\"p50\": "
-       << stats_.latencyP50Seconds
-       << ", \"p95\": " << stats_.latencyP95Seconds << "},\n";
-    os << "  \"requests_detail\": [";
-    for (std::size_t i = 0; i < outcomes_.size(); ++i) {
-        const ServingOutcome &out = outcomes_[i];
-        os << (i == 0 ? "\n" : ",\n");
-        os << "    {\"id\": " << out.id
-           << ", \"arrival_step\": " << out.arrivalStep
-           << ", \"admit_step\": " << out.admitStep
-           << ", \"first_token_step\": " << out.firstTokenStep
-           << ", \"finish_step\": " << out.finishStep
-           << ", \"decoded_tokens\": " << out.tokens.size()
-           << ", \"queue_seconds\": " << out.queueSeconds
-           << ", \"ttft_seconds\": " << out.ttftSeconds
-           << ", \"latency_seconds\": " << out.latencySeconds
-           << ", \"decode_tokens_per_second\": "
-           << out.decodeTokensPerSecond << "}";
+    obs::JsonWriter w(2);
+    w.beginObject();
+    w.field("slots", stats_.slots);
+    w.field("requests", stats_.requests);
+    w.field("executed_steps", stats_.executedSteps);
+    w.field("forwards", stats_.forwards);
+    w.field("decoded_tokens", stats_.decodedTokens);
+    w.field("wall_seconds", stats_.wallSeconds);
+    w.field("aggregate_tokens_per_second",
+            stats_.aggregateTokensPerSecond);
+    w.field("mean_occupancy", stats_.meanOccupancy);
+    w.field("mean_queue_seconds", stats_.meanQueueSeconds);
+    w.key("ttft_seconds")
+        .beginObject()
+        .field("p50", stats_.ttftP50Seconds)
+        .field("p95", stats_.ttftP95Seconds)
+        .endObject();
+    w.key("latency_seconds")
+        .beginObject()
+        .field("p50", stats_.latencyP50Seconds)
+        .field("p95", stats_.latencyP95Seconds)
+        .endObject();
+    w.key("requests_detail").beginArray();
+    for (const ServingOutcome &out : outcomes_) {
+        w.beginObject();
+        w.field("id", out.id);
+        w.field("arrival_step", out.arrivalStep);
+        w.field("admit_step", out.admitStep);
+        w.field("first_token_step", out.firstTokenStep);
+        w.field("finish_step", out.finishStep);
+        w.field("decoded_tokens", out.tokens.size());
+        w.field("queue_seconds", out.queueSeconds);
+        w.field("ttft_seconds", out.ttftSeconds);
+        w.field("latency_seconds", out.latencySeconds);
+        w.field("decode_tokens_per_second", out.decodeTokensPerSecond);
+        w.endObject();
     }
-    os << "\n  ]\n}\n";
-    return os.str();
+    w.endArray();
+    w.endObject();
+    return w.str();
 }
 
 } // namespace hnlpu

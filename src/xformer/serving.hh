@@ -82,7 +82,9 @@ struct ServingStats
     /** forwards / (executedSteps * slots). */
     double meanOccupancy = 0;
     double meanQueueSeconds = 0;
-    // Nearest-rank percentiles over per-request wall metrics.
+    // Percentiles over per-request wall metrics, via
+    // sim::Histogram::fromSamples (bin-midpoint quantiles; see
+    // serving.cc kQuantileBins for the resolution).
     double ttftP50Seconds = 0;
     double ttftP95Seconds = 0;
     double latencyP50Seconds = 0;

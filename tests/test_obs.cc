@@ -1,0 +1,607 @@
+/**
+ * @file
+ * Observability subsystem tests: JsonWriter structure/escaping (every
+ * document is parsed back by a mini in-test JSON parser, not just
+ * substring-checked), MetricsRegistry thread-safety under the pool,
+ * Chrome-trace parse-back, and the core invariant that observation is
+ * pure: a traced serving run decodes bit-identical tokens and a traced
+ * PipelineSim reproduces the untraced result exactly.
+ *
+ * Registered under ctest label `obs`; scripts/tier1.sh additionally
+ * runs it under ThreadSanitizer (counters, the tracer mutex and the
+ * pool chunk observer are all hit from every worker thread).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "model/model_zoo.hh"
+#include "noc/fabric.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "pipeline/pipeline_sim.hh"
+#include "sim/stats.hh"
+#include "xformer/engine.hh"
+#include "xformer/sampler.hh"
+#include "xformer/serving.hh"
+
+namespace hnlpu {
+namespace {
+
+// -- mini JSON parser ------------------------------------------------------
+//
+// Deliberately independent of JsonWriter: the tests verify emitted
+// documents against RFC 8259 as read by different code, not against the
+// writer's own idea of itself.
+
+struct JValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JValue> items;
+    std::vector<std::pair<std::string, JValue>> members;
+
+    const JValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : members) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+
+    /** Member lookup that fails the test (returning a null) on miss. */
+    const JValue &
+    at(const std::string &key) const
+    {
+        static const JValue null_value;
+        const JValue *v = find(key);
+        EXPECT_NE(v, nullptr) << "missing key \"" << key << "\"";
+        return v ? *v : null_value;
+    }
+};
+
+class MiniJsonParser
+{
+  public:
+    static JValue
+    parse(const std::string &text)
+    {
+        MiniJsonParser p(text);
+        JValue v = p.parseValue();
+        p.skipWs();
+        EXPECT_TRUE(p.ok_) << "parse error at offset " << p.pos_;
+        EXPECT_EQ(p.pos_, text.size()) << "trailing garbage";
+        return v;
+    }
+
+  private:
+    explicit MiniJsonParser(const std::string &text) : text_(text) {}
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) == 0) {
+            pos_ += len;
+            return true;
+        }
+        ok_ = false;
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        std::string out;
+        if (!consume('"')) {
+            ok_ = false;
+            return out;
+        }
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                ok_ = false;
+                return out;
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    ok_ = false;
+                    return out;
+                }
+                const std::string hex = text_.substr(pos_, 4);
+                pos_ += 4;
+                const long cp = std::strtol(hex.c_str(), nullptr, 16);
+                // The writer only \u-escapes control characters, all
+                // below U+0100; anything larger is a parser-test bug.
+                EXPECT_LT(cp, 0x100) << "unexpected \\u escape";
+                out.push_back(char(cp));
+                break;
+              }
+              default: ok_ = false; return out;
+            }
+        }
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            ok_ = false;
+        else
+            ++pos_;
+        return out;
+    }
+
+    JValue
+    parseValue()
+    {
+        skipWs();
+        JValue v;
+        if (pos_ >= text_.size()) {
+            ok_ = false;
+            return v;
+        }
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            v.type = JValue::Type::Object;
+            skipWs();
+            if (consume('}'))
+                return v;
+            do {
+                std::string key = parseString();
+                if (!ok_ || !consume(':')) {
+                    ok_ = false;
+                    return v;
+                }
+                v.members.emplace_back(std::move(key), parseValue());
+            } while (ok_ && consume(','));
+            if (!consume('}'))
+                ok_ = false;
+        } else if (c == '[') {
+            ++pos_;
+            v.type = JValue::Type::Array;
+            skipWs();
+            if (consume(']'))
+                return v;
+            do {
+                v.items.push_back(parseValue());
+            } while (ok_ && consume(','));
+            if (!consume(']'))
+                ok_ = false;
+        } else if (c == '"') {
+            v.type = JValue::Type::String;
+            v.str = parseString();
+        } else if (c == 't') {
+            v.type = JValue::Type::Bool;
+            v.boolean = true;
+            literal("true");
+        } else if (c == 'f') {
+            v.type = JValue::Type::Bool;
+            literal("false");
+        } else if (c == 'n') {
+            literal("null");
+        } else {
+            v.type = JValue::Type::Number;
+            const char *start = text_.c_str() + pos_;
+            char *end = nullptr;
+            v.number = std::strtod(start, &end);
+            if (end == start)
+                ok_ = false;
+            pos_ += std::size_t(end - start);
+        }
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+// -- JsonWriter ------------------------------------------------------------
+
+TEST(JsonWriter, EscapingAndNestingRoundTrip)
+{
+    obs::JsonWriter w(0);
+    w.beginObject();
+    w.field("plain", "hello");
+    w.field("tricky", "q\" b\\ nl\n tab\t bell\x07 end");
+    w.field("count", 42);
+    w.field("negative", -7);
+    w.field("big", std::uint64_t(1) << 63);
+    w.field("ratio", 0.25);
+    w.field("flag", true);
+    w.field("nan_is_null", std::nan(""));
+    w.key("nested").beginArray();
+    w.value(1).value(2);
+    w.beginObject().field("deep", "yes").endObject();
+    w.beginArray().endArray();
+    w.endArray();
+    w.endObject();
+
+    const JValue doc = MiniJsonParser::parse(w.str());
+    ASSERT_EQ(doc.type, JValue::Type::Object);
+    EXPECT_EQ(doc.at("plain").str, "hello");
+    EXPECT_EQ(doc.at("tricky").str, "q\" b\\ nl\n tab\t bell\x07 end");
+    EXPECT_EQ(doc.at("count").number, 42.0);
+    EXPECT_EQ(doc.at("negative").number, -7.0);
+    EXPECT_EQ(doc.at("big").number, std::pow(2.0, 63));
+    EXPECT_EQ(doc.at("ratio").number, 0.25);
+    EXPECT_TRUE(doc.at("flag").boolean);
+    EXPECT_EQ(doc.at("nan_is_null").type, JValue::Type::Null);
+    const JValue &nested = doc.at("nested");
+    ASSERT_EQ(nested.type, JValue::Type::Array);
+    ASSERT_EQ(nested.items.size(), 4u);
+    EXPECT_EQ(nested.items[2].at("deep").str, "yes");
+    EXPECT_TRUE(nested.items[3].items.empty());
+}
+
+TEST(JsonWriter, PrettyPrintedDocumentParses)
+{
+    obs::JsonWriter w(2);
+    w.beginObject();
+    w.key("rows").beginArray();
+    for (int i = 0; i < 3; ++i)
+        w.beginObject().field("i", i).endObject();
+    w.endArray();
+    w.endObject();
+
+    const JValue doc = MiniJsonParser::parse(w.str());
+    ASSERT_EQ(doc.at("rows").items.size(), 3u);
+    EXPECT_EQ(doc.at("rows").items[2].at("i").number, 2.0);
+}
+
+// -- Histogram::fromSamples ------------------------------------------------
+
+TEST(HistogramFromSamples, QuantilesMonotoneAndWithinSampleRange)
+{
+    std::vector<double> samples;
+    for (int i = 0; i < 1000; ++i)
+        samples.push_back(0.001 * double(i));
+    const Histogram h = Histogram::fromSamples(samples, 4096);
+    double prev = h.quantile(0.0);
+    for (double q : {0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+        const double v = h.quantile(q);
+        EXPECT_GE(v, prev) << "q " << q;
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 0.999 + 1e-6);
+        prev = v;
+    }
+    // The median of a uniform ramp sits near the middle of the range.
+    EXPECT_NEAR(h.quantile(0.5), 0.4995, 0.01);
+
+    // Degenerate inputs must not fault.
+    EXPECT_EQ(Histogram::fromSamples({}, 16).quantile(0.5), 0.0);
+    const Histogram single = Histogram::fromSamples({3.0}, 16);
+    EXPECT_NEAR(single.quantile(0.5), 3.0, 1e-6);
+}
+
+// -- MetricsRegistry -------------------------------------------------------
+
+TEST(MetricsRegistry, HandlesAreStableAndThreadSafeUnderPool)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter *const c = reg.counter("test.events");
+    ASSERT_EQ(reg.counter("test.events"), c) << "handle must be stable";
+    obs::LatencyHistogram *const h = reg.latency("test.seconds");
+
+    ThreadPool pool(4);
+    const std::size_t n = 20000;
+    pool.parallelFor(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            c->add(1);
+            // Concurrent create-on-first-use races on the same name.
+            reg.counter("test.contended")->add(1);
+            h->observe(1e-6 * double(i % 7));
+        }
+    });
+    EXPECT_EQ(c->value(), n);
+    EXPECT_EQ(reg.counter("test.contended")->value(), n);
+    EXPECT_EQ(h->count(), n);
+    EXPECT_GE(h->max(), h->min());
+
+    reg.gauge("test.depth")->set(5.0);
+    EXPECT_EQ(reg.gauge("test.depth")->value(), 5.0);
+
+    reg.reset();
+    EXPECT_EQ(c->value(), 0u);
+    EXPECT_EQ(h->count(), 0u);
+    EXPECT_EQ(reg.gauge("test.depth")->value(), 0.0);
+}
+
+TEST(MetricsRegistry, ToJsonSnapshotsMetricsAndWarnSites)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("a.count")->add(3);
+    reg.gauge("a.depth")->set(2.5);
+    obs::LatencyHistogram *h = reg.latency("a.seconds");
+    for (int i = 1; i <= 10; ++i)
+        h->observe(0.01 * i);
+
+    // Trip a hnlpu_warn_ratelimited site so warn_sites is non-empty
+    // (markChipDead warns once per dead chip).
+    Fabric fabric(2, 2, CxlLinkParams{});
+    fabric.markChipDead(3);
+
+    const JValue doc = MiniJsonParser::parse(reg.toJson());
+    EXPECT_EQ(doc.at("counters").at("a.count").number, 3.0);
+    EXPECT_EQ(doc.at("gauges").at("a.depth").number, 2.5);
+    const JValue &lat = doc.at("latencies").at("a.seconds");
+    EXPECT_EQ(lat.at("count").number, 10.0);
+    EXPECT_NEAR(lat.at("mean_seconds").number, 0.055, 1e-9);
+    EXPECT_EQ(lat.at("min_seconds").number, 0.01);
+    EXPECT_EQ(lat.at("max_seconds").number, 0.1);
+    EXPECT_LE(lat.at("p50_seconds").number,
+              lat.at("p95_seconds").number);
+    EXPECT_LE(lat.at("p95_seconds").number,
+              lat.at("p99_seconds").number);
+
+    const JValue &sites = doc.at("warn_sites");
+    ASSERT_EQ(sites.type, JValue::Type::Object);
+    bool fabric_site = false;
+    for (const auto &[key, count] : sites.members) {
+        if (key.find("fabric.cc") != std::string::npos) {
+            fabric_site = true;
+            EXPECT_GE(count.number, 1.0);
+        }
+    }
+    EXPECT_TRUE(fabric_site)
+        << "fabric.cc warn site missing from registry JSON";
+}
+
+// -- Tracer ----------------------------------------------------------------
+
+TEST(Tracer, MultiThreadedSpansParseBackAsChromeTraceEvents)
+{
+    obs::Tracer tracer;
+
+    {
+        // Null tracer: spans are a no-op, not a crash.
+        obs::ScopedSpan disabled(nullptr, "x", "y");
+    }
+    EXPECT_EQ(tracer.eventCount(), 0u);
+
+    ThreadPool pool(4);
+    const std::size_t n = 64;
+    pool.parallelFor(n, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            obs::JsonWriter args(0);
+            args.beginObject().field("i", i).endObject();
+            obs::ScopedSpan span(&tracer, "test", "test.span",
+                                 args.str());
+        }
+    });
+    EXPECT_EQ(tracer.eventCount(), n);
+
+    const JValue doc = MiniJsonParser::parse(tracer.toJson(2));
+    EXPECT_EQ(doc.at("displayTimeUnit").str, "ms");
+    const JValue &events = doc.at("traceEvents");
+    ASSERT_EQ(events.items.size(), n);
+    std::set<double> seen_args;
+    for (const JValue &ev : events.items) {
+        EXPECT_EQ(ev.at("ph").str, "X");
+        EXPECT_EQ(ev.at("pid").number, 0.0);
+        EXPECT_EQ(ev.at("cat").str, "test");
+        EXPECT_EQ(ev.at("name").str, "test.span");
+        EXPECT_GE(ev.at("ts").number, 0.0);
+        EXPECT_GE(ev.at("dur").number, 0.0);
+        EXPECT_GE(ev.at("tid").number, 0.0);
+        seen_args.insert(ev.at("args").at("i").number);
+    }
+    EXPECT_EQ(seen_args.size(), n) << "every index traced exactly once";
+}
+
+// -- serving under a full sink ---------------------------------------------
+
+TEST(Serving, TracedRunBitIdenticalAndSpansFourSubsystems)
+{
+    const auto cfg = tinyTestModel();
+    const auto weights = ModelWeights::randomInit(cfg, 77);
+
+    const std::vector<std::vector<std::size_t>> prompts{
+        {1, 5, 9}, {2}, {7, 3}, {4, 8, 12}};
+    const std::vector<std::size_t> decodes{4, 6, 2, 5};
+
+    auto serve = [&](const obs::Sink *sink) {
+        ExecOptions exec;
+        exec.threads = 2;
+        exec.batchSlots = 2;
+        exec.sink = sink;
+        Engine engine(cfg, weights, ExecPath::Reference, 8, exec);
+        ServingEngine serving(engine);
+        for (std::size_t i = 0; i < prompts.size(); ++i) {
+            ServingRequest req;
+            req.prompt = prompts[i];
+            req.decodeTokens = decodes[i];
+            req.seed = i;
+            serving.enqueue(req);
+        }
+        const auto outcomes = serving.run();
+        std::vector<std::vector<std::size_t>> tokens;
+        for (const auto &out : outcomes)
+            tokens.push_back(out.tokens);
+        return std::make_pair(tokens, serving.stats());
+    };
+
+    const auto [plain_tokens, plain_stats] = serve(nullptr);
+
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    obs::Sink sink;
+    sink.trace = &tracer;
+    sink.metrics = &metrics;
+    const auto [traced_tokens, traced_stats] = serve(&sink);
+
+    // Observation is pure: bit-identical tokens, identical step clock.
+    EXPECT_EQ(traced_tokens, plain_tokens);
+    EXPECT_EQ(traced_stats.executedSteps, plain_stats.executedSteps);
+    EXPECT_EQ(traced_stats.forwards, plain_stats.forwards);
+    EXPECT_EQ(traced_stats.decodedTokens, plain_stats.decodedTokens);
+
+    // The registry mirrors the run's stats exactly.
+    EXPECT_EQ(metrics.counter("serving.steps")->value(),
+              traced_stats.executedSteps);
+    EXPECT_EQ(metrics.counter("serving.forwards")->value(),
+              traced_stats.forwards);
+    EXPECT_EQ(metrics.counter("serving.decoded_tokens")->value(),
+              traced_stats.decodedTokens);
+    EXPECT_EQ(metrics.latency("serving.step_seconds")->count(),
+              traced_stats.executedSteps);
+    EXPECT_EQ(metrics.latency("serving.ttft_seconds")->count(),
+              prompts.size());
+
+    // The trace covers the whole stack: scheduler, engine layers,
+    // MoE routing and the thread pool's chunks.
+    const JValue doc = MiniJsonParser::parse(tracer.toJson());
+    std::set<std::string> cats, names;
+    for (const JValue &ev : doc.at("traceEvents").items) {
+        cats.insert(ev.at("cat").str);
+        names.insert(ev.at("name").str);
+    }
+    for (const char *cat : {"serving", "engine", "moe", "pool"})
+        EXPECT_TRUE(cats.count(cat)) << "missing category " << cat;
+    for (const char *name :
+         {"serve.step", "engine.layer", "engine.attention",
+          "engine.unembed", "moe.route", "moe.experts", "pool.chunk"})
+        EXPECT_TRUE(names.count(name)) << "missing span " << name;
+
+    // metricsJson is parseable and schema-stable.
+    ExecOptions exec;
+    Engine engine(cfg, weights, ExecPath::Reference, 8, exec);
+    ServingEngine serving(engine);
+    ServingRequest req;
+    req.prompt = {1};
+    req.decodeTokens = 2;
+    serving.enqueue(req);
+    serving.run();
+    const JValue mj = MiniJsonParser::parse(serving.metricsJson());
+    EXPECT_EQ(mj.at("requests").number, 1.0);
+    EXPECT_EQ(mj.at("requests_detail").items.size(), 1u);
+}
+
+// -- PipelineSim tracing ---------------------------------------------------
+
+TEST(PipelineSim, SimulatedTimeTraceIsPureObservation)
+{
+    auto cfg = defaultGptOssPipeline(2048);
+    cfg.warmupTokens = 10;
+    cfg.measuredTokens = 30;
+
+    const PipelineResult plain = PipelineSim(cfg).run();
+
+    obs::Tracer tracer;
+    cfg.trace = &tracer;
+    const PipelineResult traced = PipelineSim(cfg).run();
+
+    EXPECT_EQ(traced.tokensPerSecond, plain.tokensPerSecond);
+    EXPECT_EQ(traced.tokenLatency, plain.tokenLatency);
+    EXPECT_EQ(traced.breakdown.comm, plain.breakdown.comm);
+    EXPECT_EQ(traced.breakdown.projection, plain.breakdown.projection);
+    EXPECT_EQ(traced.breakdown.stall, plain.breakdown.stall);
+    EXPECT_EQ(traced.simulatedTokens, plain.simulatedTokens);
+
+    ASSERT_GT(tracer.eventCount(), 0u);
+    const JValue doc = MiniJsonParser::parse(tracer.toJson());
+    std::set<std::string> names;
+    bool token_args = false;
+    for (const JValue &ev : doc.at("traceEvents").items) {
+        EXPECT_EQ(ev.at("cat").str, "pipeline");
+        EXPECT_GT(ev.at("dur").number, 0.0)
+            << "zero-length ops are not emitted";
+        names.insert(ev.at("name").str);
+        if (const JValue *args = ev.find("args"))
+            token_args = token_args || args->find("token") != nullptr;
+    }
+    EXPECT_TRUE(token_args);
+    // Unit and link resources both appear (hn_qkv0 / col0 exist in any
+    // multi-chip default partition).
+    EXPECT_TRUE(names.count("hn_qkv0"));
+    EXPECT_TRUE(names.count("col0"));
+}
+
+// -- Fabric counters -------------------------------------------------------
+
+TEST(Fabric, RegistryCountersMirrorFabricAccessors)
+{
+    obs::MetricsRegistry reg;
+    Fabric fabric(2, 2, CxlLinkParams{});
+    fabric.setMetrics(&reg);
+
+    LinkFaultParams faults;
+    faults.seed = 9;
+    faults.retryProbability = 0.5;
+    faults.maxRetries = 1;
+    fabric.setLinkFaults(faults);
+
+    Tick at = 0;
+    std::uint64_t sends = 0;
+    for (int round = 0; round < 40; ++round) {
+        at = fabric.send(0, 1, 4096.0, at);
+        at = fabric.send(0, 2, 4096.0, at);
+        sends += 2;
+    }
+    // 0->3 shares no row/column: sendRouted takes two hops through a
+    // live corner and counts one reroute plus two sends.
+    at = fabric.sendRouted(0, 3, 4096.0, at);
+    sends += 2;
+
+    EXPECT_GT(fabric.totalRetries(), 0u) << "p=0.5 never retried?";
+    EXPECT_EQ(reg.counter("noc.sends")->value(), sends);
+    EXPECT_EQ(reg.counter("noc.retries")->value(),
+              fabric.totalRetries());
+    EXPECT_EQ(reg.counter("noc.retry_timeouts")->value(),
+              fabric.retryTimeouts());
+    EXPECT_EQ(reg.counter("noc.rerouted")->value(), 1u);
+    EXPECT_EQ(fabric.reroutedMessages(), 1u);
+
+    // Detach: further traffic leaves the registry untouched.
+    fabric.setMetrics(nullptr);
+    const std::uint64_t frozen = reg.counter("noc.sends")->value();
+    fabric.send(0, 1, 4096.0, at);
+    EXPECT_EQ(reg.counter("noc.sends")->value(), frozen);
+}
+
+} // namespace
+} // namespace hnlpu
