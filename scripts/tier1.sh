@@ -10,13 +10,19 @@
 # coordinates, exactly the kind of arithmetic where an off-by-one reads
 # out of bounds without failing a functional assertion.
 #
+# A fourth leg rebuilds the kernel tests with -DHNLPU_SIMD=OFF so the
+# portable fallback of the Simd kernel (the only body on non-x86 hosts)
+# keeps passing the same bit-exactness sweep as the vector bodies.
+#
 # Usage: scripts/tier1.sh [build_dir] [tsan_build_dir] [asan_build_dir]
+#        [nosimd_build_dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 TSAN_DIR="${2:-build-tsan}"
 ASAN_DIR="${3:-build-asan}"
+NOSIMD_DIR="${4:-build-nosimd}"
 
 echo "== tier-1: build + ctest =="
 cmake -B "$BUILD_DIR" -S .
@@ -29,10 +35,12 @@ cmake --build "$TSAN_DIR" -j --target test_parallel
 (cd "$TSAN_DIR" && ctest --output-on-failure -R '^test_parallel$')
 
 echo "== tier-1: kernel tests under ThreadSanitizer =="
-# The Packed kernel builds one PackedPlanes per GEMV and shares it
-# read-only across all row workers (and a mutex-guarded scratch arena
-# across concurrent MoE experts); TSan proves that sharing is really
-# read-only rather than merely luckily un-corrupted.
+# The Packed/Simd kernels build one PackedPlanes per GEMV and share it
+# read-only across all row workers, and the lock-free scratch arena
+# hands scratches between concurrent MoE experts through atomic slot
+# exchanges; TSan proves the plane sharing is really read-only and the
+# arena's acquire/release publication (incl. the dedicated concurrent
+# stress test) is race-free rather than merely luckily un-corrupted.
 cmake --build "$TSAN_DIR" -j --target test_hn_kernel
 (cd "$TSAN_DIR" && ctest --output-on-failure -L '^kernel$')
 
@@ -60,6 +68,14 @@ echo "== tier-1: traced serving run emits valid JSON =="
     --trace "$BUILD_DIR"/TRACE_serving.json > /dev/null
 python3 -m json.tool "$BUILD_DIR"/BENCH_serving.json > /dev/null
 python3 -m json.tool "$BUILD_DIR"/TRACE_serving.json > /dev/null
+
+echo "== tier-1: kernel tests with SIMD disabled =="
+# -DHNLPU_SIMD=OFF drops the AVX bodies; HnKernel::Simd then resolves
+# to the portable std::popcount tile loop, which must pass the same
+# scalar-vs-packed-vs-simd bit-exactness sweep.
+cmake -B "$NOSIMD_DIR" -S . -DHNLPU_SIMD=OFF
+cmake --build "$NOSIMD_DIR" -j --target test_hn_kernel
+(cd "$NOSIMD_DIR" && ctest --output-on-failure -L '^kernel$')
 
 echo "== tier-1: fault tests under AddressSanitizer =="
 cmake -B "$ASAN_DIR" -S . -DHNLPU_SANITIZE=address

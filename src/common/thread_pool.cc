@@ -4,6 +4,11 @@
 
 #include "common/logging.hh"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace hnlpu {
 
 namespace {
@@ -16,15 +21,34 @@ namespace {
  */
 thread_local bool t_in_parallel_region = false;
 
+/** Pin @p handle to @p cpu (Linux only; no-op elsewhere). */
+void
+pinToCpu([[maybe_unused]] std::thread::native_handle_type handle,
+         [[maybe_unused]] unsigned cpu)
+{
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    pthread_setaffinity_np(handle, sizeof(set), &set);
+#endif
+}
+
 } // namespace
 
-ThreadPool::ThreadPool(std::size_t threads)
+ThreadPool::ThreadPool(std::size_t threads, bool cap_to_hardware)
 {
+    if (cap_to_hardware)
+        hwCap_ = std::thread::hardware_concurrency(); // 0 == unknown
     if (threads <= 1)
         return;
+    // Construct every Worker slot before any thread starts: workerLoop
+    // indexes workers_ and must never observe the vector mid-growth.
     workers_.reserve(threads - 1);
     for (std::size_t i = 1; i < threads; ++i)
-        workers_.emplace_back([this, i] { workerLoop(i); });
+        workers_.push_back(std::make_unique<Worker>());
+    for (std::size_t i = 1; i < threads; ++i)
+        workers_[i - 1]->thread = std::thread([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -33,9 +57,10 @@ ThreadPool::~ThreadPool()
         std::lock_guard<std::mutex> lock(mutex_);
         stop_ = true;
     }
-    wake_.notify_all();
-    for (std::thread &worker : workers_)
-        worker.join();
+    for (auto &worker : workers_)
+        worker->cv.notify_one();
+    for (auto &worker : workers_)
+        worker->thread.join();
 }
 
 std::pair<std::size_t, std::size_t>
@@ -51,6 +76,37 @@ ThreadPool::chunkRange(std::size_t index, std::size_t chunks,
     return {begin, begin + size};
 }
 
+std::pair<std::size_t, std::size_t>
+ThreadPool::alignedChunkRange(std::size_t index, std::size_t chunks,
+                              std::size_t n, std::size_t align)
+{
+    auto [begin, end] = chunkRange(index, chunks, n);
+    if (align > 1) {
+        // Interior boundaries round down to the alignment; the outer
+        // boundaries (0 and n) are fixed, so coverage stays exact and
+        // contiguous: both sides of an interior boundary round the
+        // same raw value.
+        if (index > 0)
+            begin -= begin % align;
+        if (index + 1 < chunks)
+            end -= end % align;
+    }
+    return {begin, end};
+}
+
+std::size_t
+ThreadPool::effectiveChunks(std::size_t n, std::size_t grain,
+                            std::size_t threads, std::size_t hw_cap)
+{
+    std::size_t chunks = std::max<std::size_t>(1, threads);
+    if (hw_cap > 0)
+        chunks = std::min(chunks, hw_cap);
+    if (grain > 1)
+        chunks = std::min(chunks,
+                          std::max<std::size_t>(1, n / grain));
+    return std::max<std::size_t>(1, std::min(chunks, n));
+}
+
 void
 ThreadPool::setObserver(TaskObserver *observer)
 {
@@ -59,33 +115,98 @@ ThreadPool::setObserver(TaskObserver *observer)
 }
 
 void
-ThreadPool::parallelFor(std::size_t n, const RangeBody &body)
+ThreadPool::pinThreads()
+{
+#if defined(__linux__)
+    const unsigned ncpu = std::thread::hardware_concurrency();
+    if (ncpu == 0)
+        return;
+    pinToCpu(pthread_self(), 0);
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        pinToCpu(workers_[i]->thread.native_handle(),
+                 static_cast<unsigned>((i + 1) % ncpu));
+    }
+#endif
+}
+
+void
+ThreadPool::parallelFor(std::size_t n, const RangeBody &body,
+                        std::size_t grain)
+{
+    // Thin adapter: the chunk index is dropped.  The wrapper captures
+    // one pointer, so the std::function stays in its small buffer.
+    const ChunkBody chunk_body =
+        [&body](std::size_t, std::size_t begin, std::size_t end) {
+            body(begin, end);
+        };
+    parallelForChunked(n, chunk_body, grain, 1);
+}
+
+void
+ThreadPool::parallelForChunked(std::size_t n, const ChunkBody &body,
+                               std::size_t grain, std::size_t align)
 {
     if (n == 0)
         return;
-    if (workers_.empty() || n == 1 || t_in_parallel_region) {
-        body(0, n);
+    const std::size_t chunks =
+        effectiveChunks(n, grain, threadCount(), hwCap_);
+    if (t_in_parallel_region) {
+        // Nested region: plain inline call, never reported -- the
+        // enclosing chunk's span already covers this work.
+        body(0, 0, n);
         return;
     }
+    if (chunks <= 1) {
+        // The job still executed on the pool (as its one chunk), so
+        // the observer sees it -- a narrow machine or a tiny n must
+        // not silently drop pool.chunk trace coverage.
+        TaskObserver *observer = nullptr;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            observer = observer_;
+        }
+        if (observer)
+            observer->chunkBegin(0, n);
+        body(0, 0, n);
+        if (observer)
+            observer->chunkEnd(0, n);
+        return;
+    }
+
+    // Exact-coverage check: the static partition must start at 0 and
+    // end at n (interior contiguity is structural -- adjacent chunks
+    // round the same raw boundary).
+    hnlpu_assert(alignedChunkRange(0, chunks, n, align).first == 0 &&
+                     alignedChunkRange(chunks - 1, chunks, n, align)
+                             .second == n,
+                 "parallelFor chunk cover is not exact: n=", n,
+                 " chunks=", chunks, " align=", align);
 
     TaskObserver *observer = nullptr;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         body_ = &body;
         jobSize_ = n;
-        pending_ = workers_.size();
+        jobChunks_ = chunks;
+        jobAlign_ = align;
+        pending_ = chunks - 1;
         ++generation_;
+        // Target only the workers that own a chunk; the rest keep
+        // sleeping on their private condition variables.
+        for (std::size_t i = 1; i < chunks; ++i)
+            workers_[i - 1]->target = generation_;
         observer = observer_;
     }
-    wake_.notify_all();
+    for (std::size_t i = 1; i < chunks; ++i)
+        workers_[i - 1]->cv.notify_one();
 
     // The calling thread always takes chunk 0.
-    const auto [begin, end] = chunkRange(0, threadCount(), n);
+    const auto [begin, end] = alignedChunkRange(0, chunks, n, align);
     t_in_parallel_region = true;
     if (begin < end) {
         if (observer)
             observer->chunkBegin(begin, end);
-        body(begin, end);
+        body(0, begin, end);
         if (observer)
             observer->chunkEnd(begin, end);
     }
@@ -99,54 +220,63 @@ ThreadPool::parallelFor(std::size_t n, const RangeBody &body)
 void
 ThreadPool::workerLoop(std::size_t worker_index)
 {
-    std::uint64_t seen_generation = 0;
+    Worker &self = *workers_[worker_index - 1];
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-        const RangeBody *body = nullptr;
-        std::size_t n = 0;
-        TaskObserver *observer = nullptr;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock, [&] {
-                return stop_ || generation_ != seen_generation;
-            });
-            if (stop_)
-                return;
-            seen_generation = generation_;
-            body = body_;
-            n = jobSize_;
-            observer = observer_;
-        }
+        self.cv.wait(lock,
+                     [&] { return stop_ || self.target != seen; });
+        if (stop_)
+            return;
+        seen = self.target;
+        const ChunkBody *body = body_;
+        const std::size_t n = jobSize_;
+        const std::size_t chunks = jobChunks_;
+        const std::size_t align = jobAlign_;
+        TaskObserver *observer = observer_;
+        lock.unlock();
 
         const auto [begin, end] =
-            chunkRange(worker_index, threadCount(), n);
+            alignedChunkRange(worker_index, chunks, n, align);
         t_in_parallel_region = true;
         if (begin < end) {
             if (observer)
                 observer->chunkBegin(begin, end);
-            (*body)(begin, end);
+            (*body)(worker_index, begin, end);
             if (observer)
                 observer->chunkEnd(begin, end);
         }
         t_in_parallel_region = false;
 
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (--pending_ == 0)
-                done_.notify_one();
-        }
+        lock.lock();
+        if (--pending_ == 0)
+            done_.notify_one();
     }
 }
 
 void
 parallelFor(ThreadPool *pool, std::size_t n,
-            const ThreadPool::RangeBody &body)
+            const ThreadPool::RangeBody &body, std::size_t grain)
 {
     if (n == 0)
         return;
     if (pool)
-        pool->parallelFor(n, body);
+        pool->parallelFor(n, body, grain);
     else
         body(0, n);
+}
+
+void
+parallelForChunked(ThreadPool *pool, std::size_t n,
+                   const ThreadPool::ChunkBody &body, std::size_t grain,
+                   std::size_t align)
+{
+    if (n == 0)
+        return;
+    if (pool)
+        pool->parallelForChunked(n, body, grain, align);
+    else
+        body(0, 0, n);
 }
 
 } // namespace hnlpu

@@ -6,10 +6,19 @@
  * across the Sea-of-Neurons array; on the host, the software analogue is
  * row/expert/head-level data parallelism.  This pool is deliberately
  * work-stealing-free: every parallelFor() statically partitions [0, n)
- * into one contiguous chunk per thread, so each worker touches a
- * disjoint slice of the output and parallel execution is bit-exactly
- * equal to serial execution (see DESIGN.md "Threading model &
- * determinism").
+ * into contiguous chunks, so each worker touches a disjoint slice of
+ * the output and parallel execution is bit-exactly equal to serial
+ * execution (see DESIGN.md "Threading model & determinism").
+ *
+ * Chunk selection is work-size aware: the number of chunks is the
+ * minimum of the pool width, the online CPU count (oversubscribing a
+ * compute-bound GEMV only adds context switches), and n / grain (no
+ * point waking a worker for less than `grain` elements of work).  Only
+ * the workers that actually received a chunk are woken -- a tiny GEMV
+ * dispatched on a wide pool no longer pays a wake/join handshake per
+ * idle worker, which is what regressed the reference path past 2
+ * threads.  Chunk boundaries depend only on (n, chunks, align), never
+ * on timing.
  *
  * Nested parallelFor() calls (e.g. a row-parallel Linear inside an
  * expert-parallel MoE) are detected via a thread-local flag and run
@@ -24,6 +33,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -33,9 +43,11 @@ namespace hnlpu {
 
 /**
  * Observer hook invoked on the executing thread around every non-empty
- * chunk of a dispatched parallelFor job (the caller's chunk included).
- * Serial fallbacks -- no workers, n == 1, or a nested parallel region
- * running inline -- are plain function calls and are not reported.
+ * chunk of a parallelFor job (the caller's chunk included, and a job
+ * that collapses to a single inline chunk still reports that chunk --
+ * trace coverage must not depend on how many CPUs the host has).
+ * Only nested parallel regions running inline inside an enclosing
+ * chunk are plain, unreported calls.
  *
  * This lives in common (not obs) so the pool carries no obs dependency;
  * obs::PoolTaskTracer implements it to emit trace spans.  Implementations
@@ -57,8 +69,14 @@ class ThreadPool
      * @param threads total parallelism including the calling thread;
      *        the pool spawns threads-1 workers.  threads <= 1 spawns
      *        nothing and parallelFor() degenerates to a serial loop.
+     * @param cap_to_hardware clamp the per-job chunk count to the
+     *        online CPU count (std::thread::hardware_concurrency).
+     *        The pool's hot loops are compute bound, so running more
+     *        chunks than cores is pure context-switch overhead; tests
+     *        that need forced concurrency (TSan interleaving on small
+     *        machines) pass false.
      */
-    explicit ThreadPool(std::size_t threads);
+    explicit ThreadPool(std::size_t threads, bool cap_to_hardware = true);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -67,20 +85,79 @@ class ThreadPool
     /** Total parallelism (workers plus the calling thread). */
     std::size_t threadCount() const { return workers_.size() + 1; }
 
+    /** Chunk-count clamp from hardware_concurrency (0 == uncapped). */
+    std::size_t hardwareCap() const { return hwCap_; }
+
     /** Body invoked with a half-open index range [begin, end). */
     using RangeBody = std::function<void(std::size_t, std::size_t)>;
 
     /**
-     * Execute body over [0, n) split into threadCount() contiguous
-     * chunks.  The calling thread runs chunk 0 and blocks until every
-     * chunk is done.  Chunk boundaries depend only on (n, threadCount),
-     * never on timing, so any per-index output is deterministic.
+     * Body invoked as (chunk, begin, end): `chunk` is the static chunk
+     * index in [0, threadCount()), stable for the duration of the job,
+     * so callers can shard per-chunk accumulators (e.g. HnActivity)
+     * into padded slots instead of merging under a mutex.
      */
-    void parallelFor(std::size_t n, const RangeBody &body);
+    using ChunkBody =
+        std::function<void(std::size_t, std::size_t, std::size_t)>;
+
+    /**
+     * Execute body over [0, n) split into effectiveChunks(n, grain,
+     * threadCount(), hardwareCap()) contiguous chunks.  The calling
+     * thread runs chunk 0 and blocks until every chunk is done; only
+     * workers that received a chunk are woken.  Chunk boundaries depend
+     * only on (n, chunks, align), never on timing, so any per-index
+     * output is deterministic; single-chunk jobs run inline.
+     *
+     * @param grain minimum elements per chunk -- size the chunk count
+     *        to the work, not the pool (a 12-row GEMV on an 8-wide pool
+     *        should not wake 7 workers)
+     */
+    void parallelFor(std::size_t n, const RangeBody &body,
+                     std::size_t grain = 1);
+
+    /**
+     * As parallelFor, but the body also receives its chunk index and
+     * chunk boundaries are rounded down to multiples of @p align
+     * (coverage stays exact: chunk i's end is chunk i+1's begin and the
+     * last chunk always ends at n).  Aligning to a cache line's worth
+     * of output elements stops adjacent workers from false-sharing the
+     * line that straddles a chunk boundary.
+     */
+    void parallelForChunked(std::size_t n, const ChunkBody &body,
+                            std::size_t grain = 1, std::size_t align = 1);
 
     /** The static chunk assigned to @p index out of @p chunks. */
     static std::pair<std::size_t, std::size_t> chunkRange(
         std::size_t index, std::size_t chunks, std::size_t n);
+
+    /**
+     * chunkRange with interior boundaries rounded down to multiples of
+     * @p align.  The rounded boundaries remain monotone and contiguous
+     * (both sides of a boundary round the same raw value), so the
+     * chunks still cover [0, n) exactly; individual chunks may come
+     * out empty.
+     */
+    static std::pair<std::size_t, std::size_t> alignedChunkRange(
+        std::size_t index, std::size_t chunks, std::size_t n,
+        std::size_t align);
+
+    /**
+     * Chunk count for a job of @p n elements: min(threads, hw_cap
+     * (when nonzero), n / grain (at least 1), n).  This is the
+     * work-size-aware selection parallelFor uses -- small jobs get few
+     * chunks no matter how wide the pool is.
+     */
+    static std::size_t effectiveChunks(std::size_t n, std::size_t grain,
+                                       std::size_t threads,
+                                       std::size_t hw_cap);
+
+    /**
+     * Pin the calling thread and every worker round-robin across the
+     * online CPUs (Linux only; a no-op elsewhere).  Benchmarks use this
+     * so scaling numbers measure the kernel, not the scheduler's
+     * migration choices.
+     */
+    void pinThreads();
 
     /**
      * Install (or clear, with nullptr) the chunk observer.  Must not be
@@ -90,17 +167,32 @@ class ThreadPool
     void setObserver(TaskObserver *observer);
 
   private:
+    /**
+     * Per-worker wake state.  Each worker sleeps on its own condition
+     * variable and is woken only when `target` advances to the current
+     * job generation -- workers outside a job's chunk count never wake
+     * (and never touch `pending_`).
+     */
+    struct Worker
+    {
+        std::thread thread;
+        std::condition_variable cv;
+        std::uint64_t target = 0; //!< generation this worker should join
+    };
+
     void workerLoop(std::size_t worker_index);
 
-    std::vector<std::thread> workers_;
+    std::vector<std::unique_ptr<Worker>> workers_;
     std::mutex mutex_;
-    std::condition_variable wake_;
     std::condition_variable done_;
     std::uint64_t generation_ = 0;  //!< job counter workers wake on
-    std::size_t pending_ = 0;       //!< workers still in current job
+    std::size_t pending_ = 0;       //!< woken workers still in the job
     bool stop_ = false;
-    const RangeBody *body_ = nullptr;
+    const ChunkBody *body_ = nullptr;
     std::size_t jobSize_ = 0;
+    std::size_t jobChunks_ = 0;
+    std::size_t jobAlign_ = 1;
+    std::size_t hwCap_ = 0;
     TaskObserver *observer_ = nullptr;
 };
 
@@ -111,7 +203,12 @@ class ThreadPool
  * exactly the pre-threading serial code path.
  */
 void parallelFor(ThreadPool *pool, std::size_t n,
-                 const ThreadPool::RangeBody &body);
+                 const ThreadPool::RangeBody &body, std::size_t grain = 1);
+
+/** Chunk-indexed variant of the wrapper; serial inline runs chunk 0. */
+void parallelForChunked(ThreadPool *pool, std::size_t n,
+                        const ThreadPool::ChunkBody &body,
+                        std::size_t grain = 1, std::size_t align = 1);
 
 } // namespace hnlpu
 

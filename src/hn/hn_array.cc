@@ -1,7 +1,6 @@
 #include "hn/hn_array.hh"
 
 #include <algorithm>
-#include <mutex>
 #include <optional>
 
 #include "common/logging.hh"
@@ -9,6 +8,29 @@
 #include "common/thread_pool.hh"
 
 namespace hnlpu {
+
+namespace {
+
+/**
+ * One HnActivity per worker chunk, padded to a cache line so adjacent
+ * workers' counter increments never share (and therefore never bounce)
+ * a line.  The caller folds the shards after the join; the counters
+ * are exact integer sums, so shard-then-merge is bit-identical to the
+ * serial accumulation no matter the chunk count.
+ */
+struct alignas(64) ActivityShard
+{
+    HnActivity value;
+};
+
+/**
+ * Chunk boundary alignment for the row loops: 8 int64 outputs = one
+ * 64-byte cache line, so two workers never write the line that would
+ * otherwise straddle their chunk boundary.
+ */
+constexpr std::size_t kRowAlign = 8;
+
+} // namespace
 
 HnArray::HnArray(const SeaOfNeuronsTemplate &tmpl,
                  const std::vector<Fp4> &weights_row_major,
@@ -60,41 +82,52 @@ HnArray::gemvSerial(const std::vector<std::int64_t> &activations,
 {
     std::vector<std::int64_t> out(neurons_.size());
 
-    // Packed kernel: serialise the activation vector exactly once.  The
-    // planes are then immutable for the lifetime of the GEMV and every
-    // row worker reads them concurrently without synchronisation.
+    // Packed/Simd kernels: serialise the activation vector at most
+    // once -- CachedPlanes::ensure() skips even that when the leased
+    // scratch already holds planes for this exact column (the engine
+    // feeds one column to several projections back to back).  The
+    // planes are immutable for the lifetime of the GEMV and every row
+    // worker reads them concurrently without synchronisation.
     std::optional<HnScratchLease> lease;
     const PackedPlanes *planes = nullptr;
-    if (kernel == HnKernel::Packed) {
+    if (kernel != HnKernel::Scalar) {
         lease.emplace(arena);
-        lease->get().planes.build(activations, width);
-        planes = &lease->get().planes;
+        planes = &lease->get().planes.ensure(activations, width);
     }
 
-    // Each worker owns a disjoint row range of `out` and a private
-    // activity counter; counters are exact integer sums, so merging
-    // them (in any order) reproduces the serial totals bit-exactly.
-    std::mutex activity_mutex;
-    parallelFor(pool, neurons_.size(),
-                [&](std::size_t begin, std::size_t end) {
-        HnActivity local;
-        HnActivity *local_ptr = activity ? &local : nullptr;
-        for (std::size_t r = begin; r < end; ++r) {
-            // A dead neuron drives 0 and toggles nothing; the mask is
-            // per-row state, so the parallel result stays bit-exact.
-            if (rowDead(r))
-                out[r] = 0;
-            else if (planes)
-                out[r] = neurons_[r].computePacked(*planes, local_ptr);
-            else
-                out[r] = neurons_[r].computeSerial(activations, width,
-                                                   local_ptr);
-        }
-        if (activity) {
-            std::lock_guard<std::mutex> lock(activity_mutex);
-            activity->add(local);
-        }
-    });
+    // Each worker owns a disjoint, cache-line-aligned row range of
+    // `out` and a padded activity shard; the shards are folded after
+    // the join (exact integer sums, so shard-then-merge is bit-exact).
+    std::vector<ActivityShard> shards;
+    if (activity)
+        shards.resize(pool ? pool->threadCount() : 1);
+
+    parallelForChunked(
+        pool, neurons_.size(),
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+            HnActivity *local =
+                activity ? &shards[chunk].value : nullptr;
+            for (std::size_t r = begin; r < end; ++r) {
+                // A dead neuron drives 0 and toggles nothing; the mask
+                // is per-row state, so the parallel result stays
+                // bit-exact.
+                if (rowDead(r))
+                    out[r] = 0;
+                else if (kernel == HnKernel::Simd)
+                    out[r] = neurons_[r].computeSimd(*planes, local);
+                else if (planes)
+                    out[r] = neurons_[r].computePacked(*planes, local);
+                else
+                    out[r] = neurons_[r].computeSerial(activations,
+                                                       width, local);
+            }
+        },
+        /*grain=*/1, kRowAlign);
+
+    if (activity) {
+        for (const ActivityShard &shard : shards)
+            activity->add(shard.value);
+    }
     return out;
 }
 
@@ -114,54 +147,62 @@ HnArray::gemmSerial(
                      " != array cols ", cols_);
     }
 
-    // Packed kernel: serialise every column exactly once; the planes
-    // are immutable for the lifetime of the GEMM and shared read-only
-    // by all row workers.
+    // Packed/Simd kernels: serialise every column at most once
+    // (per-column CachedPlanes skip the serialisation when a recycled
+    // scratch already holds that column); the planes are immutable for
+    // the lifetime of the GEMM and shared read-only by all row
+    // workers.  The Simd kernel shares the Packed batch traversal
+    // here: the batched kernel already amortises the weight-side walk
+    // across columns, which is the bigger lever for GEMM.
     std::optional<HnScratchLease> lease;
     std::vector<const PackedPlanes *> planes;
-    if (kernel == HnKernel::Packed) {
+    if (kernel != HnKernel::Scalar) {
         lease.emplace(arena);
         auto &batch_planes = lease->get().batchPlanes;
         if (batch_planes.size() < batch)
             batch_planes.resize(batch);
         planes.resize(batch);
-        for (std::size_t b = 0; b < batch; ++b) {
-            batch_planes[b].build(activations[b], width);
-            planes[b] = &batch_planes[b];
-        }
+        for (std::size_t b = 0; b < batch; ++b)
+            planes[b] = &batch_planes[b].ensure(activations[b], width);
     }
 
-    std::mutex activity_mutex;
-    parallelFor(pool, neurons_.size(),
-                [&](std::size_t begin, std::size_t end) {
-        HnActivity local;
-        HnActivity *local_ptr = activity ? &local : nullptr;
-        for (std::size_t r = begin; r < end; ++r) {
-            std::int64_t *row_out = out.data() + r * batch;
-            if (rowDead(r)) {
-                for (std::size_t b = 0; b < batch; ++b)
-                    row_out[b] = 0;
-            } else if (!planes.empty()) {
-                for (std::size_t b0 = 0; b0 < batch;
-                     b0 += kHnBatchChunk) {
-                    const std::size_t chunk =
-                        std::min(kHnBatchChunk, batch - b0);
-                    neurons_[r].computePackedBatch(planes.data() + b0,
-                                                   chunk, row_out + b0,
-                                                   local_ptr);
-                }
-            } else {
-                for (std::size_t b = 0; b < batch; ++b) {
-                    row_out[b] = neurons_[r].computeSerial(
-                        activations[b], width, local_ptr);
+    std::vector<ActivityShard> shards;
+    if (activity)
+        shards.resize(pool ? pool->threadCount() : 1);
+
+    parallelForChunked(
+        pool, neurons_.size(),
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+            HnActivity *local =
+                activity ? &shards[chunk].value : nullptr;
+            for (std::size_t r = begin; r < end; ++r) {
+                std::int64_t *row_out = out.data() + r * batch;
+                if (rowDead(r)) {
+                    for (std::size_t b = 0; b < batch; ++b)
+                        row_out[b] = 0;
+                } else if (!planes.empty()) {
+                    for (std::size_t b0 = 0; b0 < batch;
+                         b0 += kHnBatchChunk) {
+                        const std::size_t cols =
+                            std::min(kHnBatchChunk, batch - b0);
+                        neurons_[r].computePackedBatch(
+                            planes.data() + b0, cols, row_out + b0,
+                            local);
+                    }
+                } else {
+                    for (std::size_t b = 0; b < batch; ++b) {
+                        row_out[b] = neurons_[r].computeSerial(
+                            activations[b], width, local);
+                    }
                 }
             }
-        }
-        if (activity) {
-            std::lock_guard<std::mutex> lock(activity_mutex);
-            activity->add(local);
-        }
-    });
+        },
+        /*grain=*/1, kRowAlign);
+
+    if (activity) {
+        for (const ActivityShard &shard : shards)
+            activity->add(shard.value);
+    }
     return out;
 }
 

@@ -73,12 +73,16 @@ class HnArray
      * per-worker activity counters are summed into @p activity.
      *
      * @param kernel HnKernel::Packed (default) serialises the
-     *        activations once into PackedPlanes and evaluates every
-     *        row word-parallel; HnKernel::Scalar is the original
-     *        per-row emulation.  Outputs and activity counters are
-     *        bit-identical between the two.
-     * @param arena optional scratch recycler for the Packed plane
-     *        buffer; null allocates a transient scratch per call.
+     *        activations at most once into PackedPlanes (a recycled
+     *        scratch whose cached planes already match this column
+     *        skips even that) and evaluates every row word-parallel;
+     *        HnKernel::Simd runs the same traversal with the
+     *        vectorised inner loop (src/hn/hn_simd.hh);
+     *        HnKernel::Scalar is the original per-row emulation.
+     *        Outputs and activity counters are bit-identical across
+     *        all three.
+     * @param arena optional scratch recycler for the plane buffer;
+     *        null allocates a transient scratch per call.
      */
     std::vector<std::int64_t> gemvSerial(
         const std::vector<std::int64_t> &activations, unsigned width,

@@ -2,7 +2,7 @@
  * @file
  * Kernel selection and scratch memory for HN array GEMV.
  *
- * The HN array has two bit-exact host kernels:
+ * The HN array has three bit-exact host kernels:
  *
  *  - Scalar: the original functional model -- per row, re-serialise the
  *    activation vector into std::vector<bool> planes and walk each FP4
@@ -11,26 +11,37 @@
  *  - Packed: the word-parallel model -- serialise the activations ONCE
  *    per GEMV into PackedPlanes (64 lanes per uint64_t word), compile
  *    each region's input list into mask words at programming time, and
- *    reduce each (plane, region) pair with popcount(plane & mask).
+ *    reduce each (plane, region) pair with popcount(plane & mask);
+ *  - Simd: the vectorised Packed model -- the same region-mask
+ *    traversal with a SIMD inner loop (AVX-512 VPOPCNTQ or an AVX2
+ *    Mula popcount, dispatched at runtime behind the HNLPU_SIMD
+ *    compile-time gate; portable std::popcount otherwise),
+ *    cache-blocked word tiles and all-zero plane/word skipping
+ *    (src/hn/hn_simd.{hh,cc}).
  *
- * Both kernels produce identical integer outputs and identical
- * HnActivity counters (the Packed kernel still accounts logical region
- * bits, not words); tests/test_hn_kernel.cc pins this.  Packed is the
- * default everywhere.
+ * All kernels produce identical integer outputs and identical
+ * HnActivity counters (the word-parallel kernels still account logical
+ * region bits, not words, and zero-skips never change the counters);
+ * tests/test_hn_kernel.cc pins this.  Packed is the engine default.
  *
- * HnScratch owns the PackedPlanes buffer of one in-flight GEMV.
- * HnScratchArena recycles scratches across calls (and across concurrent
- * callers, e.g. expert-parallel MoE workers), so steady-state decode
- * performs no plane-buffer allocation.  The arena hands each caller an
- * exclusive scratch; the PackedPlanes built into it is then shared
- * strictly read-only by the row workers of that one GEMV.
+ * HnScratch owns the CachedPlanes buffers of one in-flight GEMV/GEMM.
+ * HnScratchArena recycles scratches across calls and across concurrent
+ * callers (e.g. expert-parallel MoE workers) through a lock-free slot
+ * array -- acquire/release are a single atomic exchange on the
+ * caller's preferred slot in steady state, so leasing never serialises
+ * concurrent GEMVs the way the old mutex-guarded freelist did.  The
+ * arena hands each caller an exclusive scratch; the PackedPlanes built
+ * into it is then shared strictly read-only by the row workers of that
+ * one GEMV.
  */
 
 #ifndef HNLPU_HN_HN_KERNEL_HH
 #define HNLPU_HN_HN_KERNEL_HH
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "arith/bitserial.hh"
@@ -38,50 +49,110 @@
 namespace hnlpu {
 
 /** Which GEMV kernel the hardwired path executes. */
-enum class HnKernel { Scalar, Packed };
+enum class HnKernel { Scalar, Packed, Simd };
+
+/**
+ * A PackedPlanes plus the key it was built from, so rebuilding with an
+ * unchanged input column is a comparison instead of a serialisation.
+ * The engine feeds the same activation vector to several projections
+ * back to back (x into wq/wk/wv, the normed hidden into every routed
+ * expert's gate AND up projection), and thread-affine scratch reuse
+ * hands the same scratch back to the same caller -- together those
+ * turn most per-GEMV plane builds into cache hits.
+ *
+ * ensure() is exception-safe by ordering: the valid flag drops before
+ * the build and is restored only after both the planes and the key are
+ * consistent, so a throwing build can never leave a stale key claiming
+ * to describe fresh planes.
+ */
+class CachedPlanes
+{
+  public:
+    /**
+     * Return planes built from (values, width), rebuilding only when
+     * they differ from the previous build.  The O(n) key comparison is
+     * ~width times cheaper than the serialisation it avoids.
+     */
+    const PackedPlanes &ensure(const std::vector<std::int64_t> &values,
+                               unsigned width)
+    {
+        if (valid_ && keyWidth_ == width && key_ == values)
+            return planes_;
+        valid_ = false;
+        planes_.build(values, width);
+        key_ = values;
+        keyWidth_ = width;
+        valid_ = true;
+        ++buildCount_;
+        return planes_;
+    }
+
+    /** Serialisations actually performed (cache-miss count; test hook). */
+    std::size_t buildCount() const { return buildCount_; }
+
+    /** Drop the cached key (the next ensure() rebuilds). */
+    void invalidate() { valid_ = false; }
+
+  private:
+    PackedPlanes planes_;
+    std::vector<std::int64_t> key_;
+    unsigned keyWidth_ = 0;
+    bool valid_ = false;
+    std::size_t buildCount_ = 0;
+};
 
 /** Reusable per-GEMV working memory (exclusively owned while leased). */
 struct HnScratch
 {
-    PackedPlanes planes;
+    CachedPlanes planes;
     /**
-     * One PackedPlanes per batch column for the batched GEMM path
+     * One CachedPlanes per batch column for the batched GEMM path
      * (HnArray::gemmSerial).  Grown on demand and never shrunk, so a
      * recycled scratch keeps every column's word buffer across calls
      * and steady-state batched decode allocates no plane memory.
      */
-    std::vector<PackedPlanes> batchPlanes;
+    std::vector<CachedPlanes> batchPlanes;
 };
 
 /**
- * Mutex-protected free list of scratches.  acquire() pops a recycled
- * scratch (or creates one on first use); release() returns it.  The
- * lock is held only for the pointer swap -- never while a GEMV runs --
- * so concurrent MoE experts each lease their own scratch without
- * serialising on each other.
+ * Lock-free scratch recycler: a fixed array of atomic slots, each
+ * holding one parked scratch (or null).  acquire() claims a parked
+ * scratch with an atomic exchange (or allocates on a miss); release()
+ * parks it back with a compare-exchange (or frees it if every slot is
+ * full, which cannot happen in steady state with <= kSlots concurrent
+ * leases).  There is no ABA hazard: slots only ever swap with null,
+ * never with another live pointer.
+ *
+ * Each thread probes from its own home slot, so a thread that runs
+ * back-to-back GEMVs gets the same scratch back -- which is what makes
+ * the CachedPlanes key comparison hit when the input column repeats.
  */
 class HnScratchArena
 {
   public:
+    /** Parked-scratch capacity; beyond it release() frees instead. */
+    static constexpr std::size_t kSlots = 64;
+
     HnScratchArena() = default;
+    ~HnScratchArena();
     HnScratchArena(const HnScratchArena &) = delete;
     HnScratchArena &operator=(const HnScratchArena &) = delete;
 
     std::unique_ptr<HnScratch> acquire();
     void release(std::unique_ptr<HnScratch> scratch);
 
-    /** Scratches currently parked in the free list (test hook). */
+    /** Scratches currently parked in the slot array (test hook). */
     std::size_t idleCount() const;
 
   private:
-    mutable std::mutex mutex_;
-    std::vector<std::unique_ptr<HnScratch>> free_;
+    std::array<std::atomic<HnScratch *>, kSlots> slots_{};
 };
 
 /**
- * RAII lease: takes a scratch from @p arena (returned on destruction),
- * or owns a private one when @p arena is null so callers without an
- * engine context still work.
+ * RAII lease: takes a scratch from @p arena (returned on destruction,
+ * including during stack unwinding -- a throwing plane build cannot
+ * leak the scratch out of the arena), or owns a private one when
+ * @p arena is null so callers without an engine context still work.
  */
 class HnScratchLease
 {

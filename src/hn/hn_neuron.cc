@@ -5,6 +5,7 @@
 #include "arith/bitserial.hh"
 #include "arith/csa.hh"
 #include "common/logging.hh"
+#include "hn/hn_simd.hh"
 
 namespace hnlpu {
 
@@ -132,6 +133,50 @@ HardwiredNeuron::computePacked(const PackedPlanes &planes,
         // products, so accumulating them directly yields the same
         // value without the scalar path's per-row product vector.
         total += region_sum * twice[region.code];
+    }
+
+    if (activity) {
+        const CsaTreeShape tree = csaTreeShape(regionMasks_.size());
+        activity->cycles += bitSerialCycles(width, tree.depth);
+        activity->popcountBitOps += popcount_bits;
+        activity->multiplyOps += regionMasks_.size();
+        activity->treeAddOps += tree.compressorCount + 1;
+    }
+    return total;
+}
+
+std::int64_t
+HardwiredNeuron::computeSimd(const PackedPlanes &planes,
+                             HnActivity *activity) const
+{
+    hnlpu_assert(planes.laneCount() == topology_.tmpl().inputCount,
+                 "activation count mismatch");
+    hnlpu_assert(planes.wordsPerPlane() == wordsPerPlane_,
+                 "packed plane geometry mismatch");
+
+    // Narrow rows cannot amortise the vector bodies' per-tile fixed
+    // cost (dispatch, tail masking, horizontal reduction); the Packed
+    // kernel's fused loop is the fastest exact path there and computes
+    // the identical integer sums and activity, so delegating keeps the
+    // Simd kernel a strict never-slower superset.
+    if (wordsPerPlane_ < kHnSimdMinWords)
+        return computePacked(planes, activity);
+
+    const unsigned width = planes.width();
+    // Region sums land in a stack array: region count <= kFp4Codes.
+    std::int64_t region_sums[kFp4Codes];
+    hnRegionSums(planes, maskWords_.data(), regionMasks_.data(),
+                 regionMasks_.size(), wordsPerPlane_, region_sums);
+
+    const auto &twice = fp4TwiceValueTable();
+    std::int64_t total = 0;
+    std::size_t popcount_bits = 0;
+    for (std::size_t r = 0; r < regionMasks_.size(); ++r) {
+        total += region_sums[r] * twice[regionMasks_[r].code];
+        // Logical wires examined, exactly as the scalar/packed paths
+        // account them: plane- and word-level zero skips are host
+        // shortcuts, the modelled fabric still clocks every wire.
+        popcount_bits += std::size_t(width) * regionMasks_[r].bits;
     }
 
     if (activity) {

@@ -105,6 +105,18 @@ class HardwiredNeuron
                                HnActivity *activity = nullptr) const;
 
     /**
+     * Evaluate the neuron with the SIMD inner loop (Simd kernel): the
+     * Packed traversal with vectorised AND+POPCNT (AVX-512 VPOPCNTQ /
+     * AVX2, runtime-dispatched; portable std::popcount fallback),
+     * cache-blocked word tiles and all-zero plane/word skipping --
+     * see src/hn/hn_simd.hh.  Bit-exact with computeSerial and
+     * computePacked including the HnActivity counters (which account
+     * logical wires; zero-skips never change them).
+     */
+    std::int64_t computeSimd(const PackedPlanes &planes,
+                             HnActivity *activity = nullptr) const;
+
+    /**
      * Evaluate the neuron against @p batch activation sets in ONE
      * region-mask traversal (the batched-GEMM building block): each
      * region's mask words are loaded once and applied to every

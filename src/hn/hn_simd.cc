@@ -1,0 +1,274 @@
+#include "hn/hn_simd.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+// The vector bodies exist only on x86 GCC/Clang with the build-time
+// gate on; everywhere else hnRegionSums is the portable body alone.
+#if defined(HNLPU_SIMD_ENABLE) && HNLPU_SIMD_ENABLE &&                   \
+    (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define HNLPU_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define HNLPU_SIMD_X86 0
+#endif
+
+namespace hnlpu {
+
+namespace {
+
+/**
+ * Words per cache tile.  One 512-word tile is 4 KiB; a tile of the
+ * plane, the current region's mask stripe, and the next stripe all fit
+ * in L1 together, so the (region x bit) revisits of a tile hit cache
+ * even when a full stripe would not.
+ */
+constexpr std::size_t kTileWords = 512;
+
+using RegionSumsFn = void (*)(const PackedPlanes &, const std::uint64_t *,
+                              const RegionMask *, std::size_t, std::size_t,
+                              std::int64_t *);
+
+/**
+ * Shared traversal shape of every tier: tiles outermost so the masks
+ * and planes of one tile stay hot across all (region, bit) pairs, then
+ * regions, then non-zero bit planes, with @p count_tile producing the
+ * exact popcount of (plane & mask) over one tile.  Integer addition is
+ * associative, so this tiling is bit-exact against the straight-line
+ * computePacked loop by construction.
+ *
+ * The tile counter is a template *value* parameter on purpose: the
+ * three tier functions share one signature, so a deduced pointer-typed
+ * argument would collapse every tier into a single instantiation with
+ * a runtime callee -- an indirect call per (region, bit) the compiler
+ * cannot inline, which on narrow rows costs more than the popcounts
+ * themselves.  A value parameter gives each tier its own instantiation
+ * with a known (and, for the portable body, fully inlined) callee.
+ */
+template <auto count_tile>
+inline void
+regionSumsTiled(const PackedPlanes &planes, const std::uint64_t *mask_words,
+                const RegionMask *regions, std::size_t region_count,
+                std::size_t words_per_plane, std::int64_t *region_sums)
+{
+    const unsigned width = planes.width();
+    const std::uint64_t non_zero = planes.nonZeroPlaneMask();
+    const std::uint64_t *plane_ptr[63];
+    for (unsigned bit = 0; bit < width; ++bit)
+        plane_ptr[bit] = planes.plane(bit);
+
+    for (std::size_t r = 0; r < region_count; ++r)
+        region_sums[r] = 0;
+
+    for (std::size_t tile = 0; tile < words_per_plane;
+         tile += kTileWords) {
+        const std::size_t len =
+            std::min(kTileWords, words_per_plane - tile);
+        for (std::size_t r = 0; r < region_count; ++r) {
+            const std::uint64_t *mask =
+                mask_words + regions[r].wordOffset + tile;
+            std::int64_t sum = 0;
+            for (unsigned bit = 0; bit < width; ++bit) {
+                // An all-zero plane popcounts to 0 against every mask:
+                // skipping it changes nothing but the wall clock.
+                if (!((non_zero >> bit) & 1ULL))
+                    continue;
+                const std::int64_t count =
+                    count_tile(plane_ptr[bit] + tile, mask, len);
+                const std::int64_t weight = std::int64_t(1) << bit;
+                sum += (bit + 1 == width ? -weight : weight) * count;
+            }
+            region_sums[r] += sum;
+        }
+    }
+}
+
+std::int64_t
+countTilePortable(const std::uint64_t *plane, const std::uint64_t *mask,
+                  std::size_t n)
+{
+    std::int64_t count = 0;
+    for (std::size_t w = 0; w < n; ++w)
+        count += std::popcount(plane[w] & mask[w]);
+    return count;
+}
+
+void
+regionSumsPortable(const PackedPlanes &planes,
+                   const std::uint64_t *mask_words,
+                   const RegionMask *regions, std::size_t region_count,
+                   std::size_t words_per_plane, std::int64_t *region_sums)
+{
+    regionSumsTiled<countTilePortable>(planes, mask_words, regions,
+                                     region_count, words_per_plane,
+                                     region_sums);
+}
+
+#if HNLPU_SIMD_X86
+
+/**
+ * AVX2 tile popcount: Mula's nibble-LUT algorithm.  Each 256-bit step
+ * splits four words into nibbles, maps each nibble to its popcount via
+ * PSHUFB, and folds the 32 byte-counts into four 64-bit lanes with
+ * PSADBW (whose per-lane sums are exact, so no overflow handling is
+ * needed at any tile size).  An all-zero 4-word plane block is skipped
+ * with one VPTEST before the mask load.
+ */
+__attribute__((target("avx2"))) std::int64_t
+countTileAvx2(const std::uint64_t *plane, const std::uint64_t *mask,
+              std::size_t n)
+{
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1,
+        2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low_nibble = _mm256_set1_epi8(0x0f);
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i acc = zero;
+    std::size_t w = 0;
+    for (; w + 4 <= n; w += 4) {
+        const __m256i p = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(plane + w));
+        if (_mm256_testz_si256(p, p))
+            continue;
+        const __m256i v = _mm256_and_si256(
+            p, _mm256_loadu_si256(
+                   reinterpret_cast<const __m256i *>(mask + w)));
+        const __m256i lo = _mm256_and_si256(v, low_nibble);
+        const __m256i hi =
+            _mm256_and_si256(_mm256_srli_epi16(v, 4), low_nibble);
+        const __m256i bytes =
+            _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                            _mm256_shuffle_epi8(lut, hi));
+        acc = _mm256_add_epi64(acc, _mm256_sad_epu8(bytes, zero));
+    }
+    alignas(32) std::int64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    std::int64_t count = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; w < n; ++w)
+        count += std::popcount(plane[w] & mask[w]);
+    return count;
+}
+
+__attribute__((target("avx2"))) void
+regionSumsAvx2(const PackedPlanes &planes, const std::uint64_t *mask_words,
+               const RegionMask *regions, std::size_t region_count,
+               std::size_t words_per_plane, std::int64_t *region_sums)
+{
+    regionSumsTiled<countTileAvx2>(planes, mask_words, regions,
+                                     region_count, words_per_plane,
+                                     region_sums);
+}
+
+/**
+ * AVX-512 tile popcount: one VPOPCNTQ per eight words, all-zero plane
+ * blocks skipped via VPTESTMQ, the ragged tail handled with a masked
+ * load (lanes beyond the tile read as zero and contribute zero).
+ */
+__attribute__((
+    target("avx512f,avx512bw,avx512vl,avx512vpopcntdq"))) std::int64_t
+countTileAvx512(const std::uint64_t *plane, const std::uint64_t *mask,
+                std::size_t n)
+{
+    __m512i acc = _mm512_setzero_si512();
+    std::size_t w = 0;
+    for (; w + 8 <= n; w += 8) {
+        const __m512i p = _mm512_loadu_si512(plane + w);
+        if (_mm512_test_epi64_mask(p, p) == 0)
+            continue;
+        const __m512i v =
+            _mm512_and_si512(p, _mm512_loadu_si512(mask + w));
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+    }
+    if (w < n) {
+        const __mmask8 tail =
+            static_cast<__mmask8>((1u << (n - w)) - 1u);
+        const __m512i p = _mm512_maskz_loadu_epi64(tail, plane + w);
+        const __m512i m = _mm512_maskz_loadu_epi64(tail, mask + w);
+        acc = _mm512_add_epi64(
+            acc, _mm512_popcnt_epi64(_mm512_and_si512(p, m)));
+    }
+    return _mm512_reduce_add_epi64(acc);
+}
+
+__attribute__((
+    target("avx512f,avx512bw,avx512vl,avx512vpopcntdq"))) void
+regionSumsAvx512(const PackedPlanes &planes,
+                 const std::uint64_t *mask_words,
+                 const RegionMask *regions, std::size_t region_count,
+                 std::size_t words_per_plane, std::int64_t *region_sums)
+{
+    regionSumsTiled<countTileAvx512>(planes, mask_words, regions,
+                                     region_count, words_per_plane,
+                                     region_sums);
+}
+
+#endif // HNLPU_SIMD_X86
+
+struct SimdDispatch
+{
+    RegionSumsFn fn;
+    HnSimdLevel level;
+    const char *name;
+};
+
+SimdDispatch
+resolveDispatch()
+{
+#if HNLPU_SIMD_X86
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx512vpopcntdq") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512vl") &&
+        __builtin_cpu_supports("avx512f"))
+        return {regionSumsAvx512, HnSimdLevel::Avx512, "avx512"};
+    if (__builtin_cpu_supports("avx2"))
+        return {regionSumsAvx2, HnSimdLevel::Avx2, "avx2"};
+#endif
+    return {regionSumsPortable, HnSimdLevel::Portable, "portable"};
+}
+
+const SimdDispatch &
+dispatch()
+{
+    // Resolved once, first use; the CPU feature set cannot change
+    // under a running process.
+    static const SimdDispatch d = resolveDispatch();
+    return d;
+}
+
+} // namespace
+
+HnSimdLevel
+hnSimdLevel()
+{
+    return dispatch().level;
+}
+
+const char *
+hnSimdLevelName()
+{
+    return dispatch().name;
+}
+
+void
+hnRegionSums(const PackedPlanes &planes, const std::uint64_t *mask_words,
+             const RegionMask *regions, std::size_t region_count,
+             std::size_t words_per_plane, std::int64_t *region_sums)
+{
+    hnlpu_assert(words_per_plane == planes.wordsPerPlane(),
+                 "packed plane geometry mismatch");
+    // See kHnSimdMinWords: narrow stripes cannot amortise the vector
+    // bodies' per-tile fixed cost, and the portable instantiation
+    // inlines to the same popcount loop the Packed kernel runs.
+    if (words_per_plane < kHnSimdMinWords) {
+        regionSumsPortable(planes, mask_words, regions, region_count,
+                           words_per_plane, region_sums);
+        return;
+    }
+    dispatch().fn(planes, mask_words, regions, region_count,
+                  words_per_plane, region_sums);
+}
+
+} // namespace hnlpu

@@ -41,8 +41,11 @@ Engine::Engine(const TransformerConfig &cfg, const ModelWeights &weights,
     hnlpu_assert(weights_.blocks.size() == cfg_.layerCount,
                  "weights/config layer mismatch");
     hnlpu_assert(exec_.threads >= 1, "ExecOptions::threads must be >= 1");
-    if (exec_.threads > 1)
+    if (exec_.threads > 1) {
         pool_ = std::make_unique<ThreadPool>(exec_.threads);
+        if (exec_.pinThreads)
+            pool_->pinThreads();
+    }
     stats_.expertHistogram.assign(cfg_.expertCount, 0);
 
     ctx_.path = path_;

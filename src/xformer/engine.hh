@@ -40,11 +40,20 @@ struct ExecOptions
     std::size_t threads = 1; //!< total parallelism incl. calling thread
     /**
      * Hardwired-path GEMV kernel.  Packed (default) compiles region
-     * masks and shares one bit-plane serialisation per GEMV; Scalar is
-     * the original per-row emulation.  Bit-identical outputs and
-     * activity counters either way (tests/test_hn_kernel.cc).
+     * masks and shares one bit-plane serialisation per GEMV; Simd runs
+     * that traversal with the vectorised inner loop (hn/hn_simd.hh);
+     * Scalar is the original per-row emulation.  Bit-identical outputs
+     * and activity counters in all cases (tests/test_hn_kernel.cc).
      */
     HnKernel kernel = HnKernel::Packed;
+    /**
+     * Pin the pool's threads round-robin across the online CPUs (Linux
+     * only; no-op elsewhere and with threads <= 1).  Benchmarks enable
+     * this so scaling numbers measure the kernels rather than the
+     * scheduler's migration choices; servers sharing the machine
+     * should leave it off.
+     */
+    bool pinThreads = false;
     /**
      * Default decode-slot count for the continuous-batching serving
      * layer (ServingEngine reads this when constructed without an

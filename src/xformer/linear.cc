@@ -76,6 +76,13 @@ Linear::forward(const Vec &x, const ExecContext &ctx) const
 
     Vec y(outDim_, 0.0);
     const auto &values = fp4ValueTable();
+    // A reference row is inDim_ multiply-adds, so small projections
+    // (attention heads, routers) are microsecond-scale jobs; the grain
+    // keeps each chunk worth at least ~16k multiply-adds so the pool
+    // never wakes a worker for less work than the wake costs -- this
+    // is what un-regressed the reference path past 2 threads.
+    const std::size_t grain =
+        std::max<std::size_t>(1, std::size_t(16384) / inDim_);
     parallelFor(ctx.pool, outDim_,
                 [&](std::size_t begin, std::size_t end) {
         for (std::size_t r = begin; r < end; ++r) {
@@ -85,7 +92,7 @@ Linear::forward(const Vec &x, const ExecContext &ctx) const
                 acc += values[row[c].code()] * x[c];
             y[r] = acc;
         }
-    });
+    }, grain);
     // Dead neurons read as exactly 0.0, matching the hardwired mask.
     for (std::uint32_t r : deadRows_)
         y[r] = 0.0;
@@ -116,6 +123,9 @@ Linear::forwardBatch(const std::vector<Vec> &xs,
 
     std::vector<Vec> ys(batch, Vec(outDim_, 0.0));
     const auto &values = fp4ValueTable();
+    // Same work-size-aware grain as forward(), per column of the batch.
+    const std::size_t grain = std::max<std::size_t>(
+        1, std::size_t(16384) / (inDim_ * batch));
     parallelFor(ctx.pool, outDim_,
                 [&](std::size_t begin, std::size_t end) {
         for (std::size_t r = begin; r < end; ++r) {
@@ -151,7 +161,7 @@ Linear::forwardBatch(const std::vector<Vec> &xs,
                 ys[b][r] = acc;
             }
         }
-    });
+    }, grain);
     for (std::uint32_t r : deadRows_) {
         for (std::size_t b = 0; b < batch; ++b)
             ys[b][r] = 0.0;

@@ -57,9 +57,106 @@ TEST(ThreadPool, ChunkRangeIsADisjointCover)
     }
 }
 
+TEST(ThreadPool, AlignedChunkRangeIsADisjointCover)
+{
+    for (std::size_t n : {1u, 2u, 5u, 7u, 8u, 64u, 100u, 1000u}) {
+        for (std::size_t chunks : {1u, 2u, 3u, 4u, 8u, 13u}) {
+            for (std::size_t align : {1u, 2u, 8u, 16u}) {
+                std::size_t expected_begin = 0;
+                for (std::size_t i = 0; i < chunks; ++i) {
+                    const auto [begin, end] =
+                        ThreadPool::alignedChunkRange(i, chunks, n,
+                                                      align);
+                    EXPECT_EQ(begin, expected_begin)
+                        << "n " << n << " chunks " << chunks
+                        << " align " << align << " chunk " << i;
+                    EXPECT_LE(begin, end);
+                    // Interior boundaries land on the alignment, so a
+                    // cache line of outputs never straddles two
+                    // workers' chunks.
+                    if (i > 0)
+                        EXPECT_EQ(begin % align, 0u);
+                    expected_begin = end;
+                }
+                EXPECT_EQ(expected_begin, n);
+            }
+        }
+    }
+}
+
+TEST(ThreadPool, EffectiveChunksIsWorkSizeAware)
+{
+    // Tiny jobs never fan out wider than n / grain: a 12-row GEMV on
+    // an 8-wide pool with a 16-row grain stays serial.
+    EXPECT_EQ(ThreadPool::effectiveChunks(12, 16, 8, 0), 1u);
+    EXPECT_EQ(ThreadPool::effectiveChunks(64, 16, 8, 0), 4u);
+    EXPECT_EQ(ThreadPool::effectiveChunks(128, 16, 8, 0), 8u);
+    // grain 1 (default): bounded by n and the pool width.
+    EXPECT_EQ(ThreadPool::effectiveChunks(3, 1, 8, 0), 3u);
+    EXPECT_EQ(ThreadPool::effectiveChunks(1000, 1, 8, 0), 8u);
+    // The hardware cap clamps an oversubscribed pool.
+    EXPECT_EQ(ThreadPool::effectiveChunks(1000, 1, 8, 2), 2u);
+    EXPECT_EQ(ThreadPool::effectiveChunks(1000, 1, 2, 8), 2u);
+    // Degenerate inputs still yield one chunk.
+    EXPECT_EQ(ThreadPool::effectiveChunks(1, 100, 8, 0), 1u);
+    EXPECT_EQ(ThreadPool::effectiveChunks(5, 1, 0, 0), 1u);
+}
+
+TEST(ThreadPool, ParallelForChunkedVisitsEveryIndexExactlyOnce)
+{
+    // cap_to_hardware=false forces real fan-out even on narrow CI
+    // machines, so the chunked dispatch/join handshake is exercised.
+    ThreadPool pool(4, /*cap_to_hardware=*/false);
+    for (std::size_t n : {1u, 3u, 5u, 16u, 129u}) {
+        for (std::size_t align : {1u, 8u}) {
+            std::vector<std::atomic<int>> hits(n);
+            for (auto &h : hits)
+                h = 0;
+            std::atomic<std::size_t> max_chunk{0};
+            pool.parallelForChunked(
+                n,
+                [&](std::size_t chunk, std::size_t begin,
+                    std::size_t end) {
+                    std::size_t seen = max_chunk.load();
+                    while (chunk > seen &&
+                           !max_chunk.compare_exchange_weak(seen,
+                                                            chunk)) {
+                    }
+                    for (std::size_t i = begin; i < end; ++i)
+                        ++hits[i];
+                },
+                1, align);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(hits[i].load(), 1)
+                    << "n " << n << " align " << align << " index "
+                    << i;
+            EXPECT_LT(max_chunk.load(), pool.threadCount());
+        }
+    }
+}
+
+TEST(ThreadPool, GrainKeepsTinyJobsSerial)
+{
+    // Satellite regression: a 12-element job with a 16-element grain
+    // must not wake any worker -- it runs as chunk 0 on the caller.
+    ThreadPool pool(8, /*cap_to_hardware=*/false);
+    std::atomic<std::size_t> chunks_seen{0};
+    std::atomic<std::size_t> visited{0};
+    pool.parallelForChunked(
+        12,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+            EXPECT_EQ(chunk, 0u);
+            ++chunks_seen;
+            visited += end - begin;
+        },
+        /*grain=*/16);
+    EXPECT_EQ(chunks_seen.load(), 1u);
+    EXPECT_EQ(visited.load(), 12u);
+}
+
 TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce)
 {
-    ThreadPool pool(4);
+    ThreadPool pool(4, /*cap_to_hardware=*/false);
     EXPECT_EQ(pool.threadCount(), 4u);
     for (std::size_t n : {0u, 1u, 3u, 4u, 5u, 129u}) {
         std::vector<std::atomic<int>> hits(n);
@@ -87,7 +184,7 @@ TEST(ThreadPool, SingleThreadPoolRunsInline)
 
 TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock)
 {
-    ThreadPool pool(4);
+    ThreadPool pool(4, /*cap_to_hardware=*/false);
     std::vector<std::atomic<int>> hits(64);
     for (auto &h : hits)
         h = 0;
@@ -106,7 +203,7 @@ TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock)
 
 TEST(ThreadPool, ReusableAcrossManyJobs)
 {
-    ThreadPool pool(3);
+    ThreadPool pool(3, /*cap_to_hardware=*/false);
     std::atomic<std::size_t> total{0};
     for (int job = 0; job < 200; ++job) {
         pool.parallelFor(17, [&](std::size_t begin, std::size_t end) {

@@ -93,7 +93,8 @@ TEST(GemmSerial, MatchesPerColumnGemvAcrossBatchKernelThreadsDeadRows)
             for (std::size_t b = 0; b < batch; ++b)
                 acts[b] = randomActivations(
                     cols, width, 300 + width * 31 + batch * 7 + b);
-            for (HnKernel kernel : {HnKernel::Packed, HnKernel::Scalar}) {
+            for (HnKernel kernel : {HnKernel::Packed, HnKernel::Simd,
+                                    HnKernel::Scalar}) {
                 for (ThreadPool *p : {(ThreadPool *)nullptr, &pool}) {
                     HnActivity gemm_act;
                     const auto flat = array.gemmSerial(
