@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Chaos benchmark for the fault-tolerant serving router: heavy-tail
+ * arrivals over 4 engine shards with a seeded mid-run fault schedule
+ * -- one shard takes a fully spare-repaired fault (and must keep
+ * serving bit-identically), one shard is corrupted beyond repair
+ * (drained and failed over), and one shard's CXL link turns lossy
+ * (degraded, batch traffic avoids it).
+ *
+ * The bench verifies the robustness contract inline and exits
+ * non-zero on any violation:
+ *   - every completed request decodes tokens bit-identical to a clean
+ *     solo Engine::generate with the same sampler config and seed;
+ *   - every non-completed request carries a typed reason from the
+ *     stated policy (queue backpressure, deadline expiry, retry
+ *     budget) -- never a degraded-fleet shed while healthy shards
+ *     remain, and never an abort;
+ *   - the drained shard produces a recovery record.
+ *
+ * A clean-config parity run (1 shard, no faults) serves the same
+ * trace through the PR 4 ServingEngine and through the router, pins
+ * token equality, and reports the throughput ratio so BENCH_router's
+ * clean goodput can be checked against BENCH_serving.json.
+ *
+ * Measurements go to BENCH_router.json: goodput, shed rate, p99 TTFT,
+ * and per-episode recovery time.
+ *
+ * Usage: bench_router_chaos [requests] [json]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "serve/router.hh"
+#include "xformer/engine.hh"
+#include "xformer/sampler.hh"
+#include "xformer/serving.hh"
+#include "xformer/weights.hh"
+
+namespace {
+
+using namespace hnlpu;
+using namespace hnlpu::serve;
+
+/** gpt-oss-shaped block at ~1/10 linear scale (as bench_serving). */
+TransformerConfig
+scaledGptOssBlock()
+{
+    TransformerConfig cfg;
+    cfg.name = "gpt-oss-scaled-block";
+    cfg.hiddenSize = 288;
+    cfg.layerCount = 1;
+    cfg.queryHeads = 8;
+    cfg.kvHeads = 2;
+    cfg.headDim = 36;
+    cfg.vocabSize = 2048;
+    cfg.expertCount = 8;
+    cfg.activeExperts = 2;
+    cfg.expertHidden = 288;
+    cfg.weightBits = 4;
+    cfg.validate();
+    return cfg;
+}
+
+/** Bounded Pareto draw (heavy-tail arrivals and decode lengths). */
+std::size_t
+paretoDraw(Rng &rng, double alpha, std::size_t cap)
+{
+    const double u = rng.uniform01();
+    const double x = std::pow(1.0 - u, -1.0 / alpha) - 1.0;
+    const auto n = std::size_t(x);
+    return n > cap ? cap : n;
+}
+
+/** Heavy-tail request trace; arrivals are non-decreasing. */
+std::vector<RouterRequest>
+makeTrace(const TransformerConfig &cfg, std::size_t requests,
+          bool with_deadlines, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<RouterRequest> trace;
+    std::size_t arrival = 0;
+    for (std::size_t r = 0; r < requests; ++r) {
+        arrival += paretoDraw(rng, 1.3, 30);
+        RouterRequest req;
+        const std::size_t prompt_tokens = 3 + r % 4;
+        for (std::size_t t = 0; t < prompt_tokens; ++t)
+            req.prompt.push_back((7 + 131 * r + 29 * t) %
+                                 cfg.vocabSize);
+        req.decodeTokens = 6 + paretoDraw(rng, 1.5, 24);
+        req.arrivalStep = arrival;
+        req.seed = r;
+        if (r % 5 == 1)
+            req.sampler = {0.8, 40};
+        if (r % 3 == 0) {
+            req.cls = RequestClass::Interactive;
+            if (with_deadlines) {
+                req.ttftDeadlineSteps = 150;
+                req.deadlineSteps = 500;
+            }
+        } else {
+            req.cls = RequestClass::Batch;
+        }
+        trace.push_back(std::move(req));
+    }
+    return trace;
+}
+
+/** Clean solo transcripts, one engine for the whole trace. */
+std::vector<std::vector<std::size_t>>
+soloTranscripts(const TransformerConfig &cfg,
+                const ModelWeights &weights,
+                const std::vector<RouterRequest> &trace)
+{
+    Engine engine(cfg, weights, ExecPath::Reference);
+    std::vector<std::vector<std::size_t>> want;
+    for (const RouterRequest &req : trace) {
+        Sampler sampler(req.sampler, req.seed);
+        want.push_back(
+            engine.generate(req.prompt, req.decodeTokens, sampler));
+    }
+    return want;
+}
+
+[[noreturn]] void
+fail(const char *what)
+{
+    std::fprintf(stderr, "FATAL: %s\n", what);
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using hnlpu::bench::banner;
+    using hnlpu::bench::writeJsonFile;
+
+    const std::size_t requests =
+        argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 56;
+    const std::string json_path =
+        argc > 2 ? argv[2] : "BENCH_router.json";
+
+    const TransformerConfig cfg = scaledGptOssBlock();
+    const ModelWeights weights = ModelWeights::randomInit(cfg, 7);
+
+    banner("Router chaos: 4 shards, heavy-tail arrivals, mid-run "
+           "faults (" + cfg.name + ")");
+
+    // -- chaos run --------------------------------------------------------
+
+    RouterConfig rc;
+    rc.shards = 4;
+    rc.slotsPerShard = 2;
+    rc.batchQueueCapacity = 32; // backpressure sheds the burst's tail
+    rc.interactiveQueueCapacity = 64;
+    const auto trace = makeTrace(cfg, requests, true, 1234);
+    const auto want = soloTranscripts(cfg, weights, trace);
+
+    ServingRouter router(cfg, weights, ExecPath::Reference, 8, {}, rc);
+    std::size_t front_door_shed = 0;
+    for (const RouterRequest &req : trace) {
+        const EnqueueResult res = router.enqueue(req);
+        if (!res.admitted()) {
+            if (res.reason != RejectReason::QueueFull)
+                fail("enqueue refused for a non-backpressure reason");
+            ++front_door_shed;
+        }
+    }
+
+    // Seeded fault schedule: repairable hit on shard 1, unrepairable
+    // kill of shard 2 (1 of 4), lossy link on shard 3.
+    ShardFaultEvent repaired;
+    repaired.step = 12;
+    repaired.shard = 1;
+    repaired.modelFaults.seed = 21;
+    repaired.modelFaults.deadRowRate = 0.005;
+    repaired.modelFaults.spareRows = 128;
+    router.scheduleFault(repaired);
+
+    ShardFaultEvent killed;
+    killed.step = 30;
+    killed.shard = 2;
+    killed.modelFaults.seed = 9;
+    killed.modelFaults.stuckBitRate = 0.05;
+    killed.modelFaults.deadRowRate = 0.05;
+    killed.modelFaults.spareRows = 0;
+    router.scheduleFault(killed);
+
+    ShardFaultEvent lossy;
+    lossy.step = 48;
+    lossy.shard = 3;
+    lossy.linkFaults.seed = 5;
+    lossy.linkFaults.retryProbability = 0.4;
+    router.scheduleFault(lossy);
+
+    const auto outcomes = router.run();
+    const RouterStats &stats = router.stats();
+
+    // -- inline contract verification -------------------------------------
+
+    if (outcomes.size() != trace.size())
+        fail("outcome count mismatch");
+    std::size_t completed = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const RouterOutcome &out = outcomes[i];
+        if (out.status == RequestStatus::Completed) {
+            ++completed;
+            if (out.tokens != want[i])
+                fail("completed request diverged from clean solo "
+                     "Engine::generate");
+            continue;
+        }
+        // Sheds only by stated policy, always typed.
+        switch (out.reason) {
+          case RejectReason::QueueFull:
+          case RejectReason::DeadlineExpired:
+          case RejectReason::RetriesExhausted:
+            break;
+          default:
+            fail("shed/cancel with a reason outside the stated "
+                 "policy");
+        }
+    }
+    if (completed < requests / 2)
+        fail("chaos run completed fewer than half the requests");
+    if (router.degradedMode())
+        fail("degraded mode raised while healthy shards remained");
+    if (router.shardState(1) != ShardState::Healthy)
+        fail("spare-repaired shard did not stay healthy");
+    if (router.shardState(2) != ShardState::Drained)
+        fail("corrupted shard was not drained");
+    if (router.shardState(3) != ShardState::Degraded)
+        fail("lossy-link shard was not degraded");
+    if (stats.probeFailures != 1 || stats.faultsInjected != 3)
+        fail("fault schedule was not applied as configured");
+    if (stats.recoveries.empty())
+        fail("drained shard produced no recovery record");
+
+    double recovery_seconds = 0.0;
+    std::size_t recovery_steps = 0;
+    for (const RecoveryRecord &rec : stats.recoveries) {
+        if (rec.recoverySeconds > recovery_seconds)
+            recovery_seconds = rec.recoverySeconds;
+        const std::size_t steps = rec.recoveredStep - rec.faultStep;
+        if (steps > recovery_steps)
+            recovery_steps = steps;
+    }
+    const double shed_rate =
+        double(stats.shed + stats.cancelled) / double(stats.requests);
+
+    Table table({"Metric", "Value"});
+    table.addRow({"requests", std::to_string(stats.requests)});
+    table.addRow({"completed", std::to_string(stats.completed)});
+    table.addRow({"shed (typed)", std::to_string(stats.shed)});
+    table.addRow({"cancelled", std::to_string(stats.cancelled)});
+    table.addRow({"failovers", std::to_string(stats.failovers)});
+    table.addRow({"retries", std::to_string(stats.retries)});
+    table.addRow(
+        {"goodput tok/s",
+         commaString(stats.goodputTokensPerSecond, 2)});
+    table.addRow({"shed rate", commaString(shed_rate, 3)});
+    table.addRow({"TTFT p99 ms",
+                  commaString(stats.ttftP99Seconds * 1e3, 2)});
+    table.addRow({"recovery ms",
+                  commaString(recovery_seconds * 1e3, 2)});
+    table.addRow({"recovery steps", std::to_string(recovery_steps)});
+    table.print();
+
+    // -- clean-config parity vs the PR 4 ServingEngine ---------------------
+
+    banner("Clean-config parity: ServingEngine vs 1-shard router");
+    const std::size_t parity_requests =
+        requests / 2 > 8 ? requests / 2 : 8;
+    const auto parity_trace =
+        makeTrace(cfg, parity_requests, false, 77);
+
+    ExecOptions serving_exec;
+    serving_exec.batchSlots = 4;
+    Engine serving_engine(cfg, weights, ExecPath::Reference, 8,
+                          serving_exec);
+    ServingEngine serving(serving_engine);
+    for (const RouterRequest &req : parity_trace) {
+        ServingRequest sr;
+        sr.prompt = req.prompt;
+        sr.decodeTokens = req.decodeTokens;
+        sr.arrivalStep = req.arrivalStep;
+        sr.sampler = req.sampler;
+        sr.seed = req.seed;
+        serving.enqueue(sr);
+    }
+    const auto serving_outcomes = serving.run();
+    const double serving_tps =
+        serving.stats().aggregateTokensPerSecond;
+
+    RouterConfig parity_rc;
+    parity_rc.shards = 1;
+    parity_rc.slotsPerShard = 4;
+    ServingRouter parity_router(cfg, weights, ExecPath::Reference, 8,
+                                {}, parity_rc);
+    for (const RouterRequest &req : parity_trace) {
+        if (!parity_router.enqueue(req).admitted())
+            fail("parity enqueue refused");
+    }
+    const auto parity_outcomes = parity_router.run();
+    const double router_tps =
+        parity_router.stats().goodputTokensPerSecond;
+
+    for (std::size_t i = 0; i < parity_trace.size(); ++i) {
+        if (parity_outcomes[i].status != RequestStatus::Completed)
+            fail("parity run shed a request on a clean fleet");
+        if (parity_outcomes[i].tokens != serving_outcomes[i].tokens)
+            fail("router and ServingEngine decoded different tokens "
+                 "on the clean config");
+    }
+    const double ratio =
+        serving_tps > 0.0 ? router_tps / serving_tps : 0.0;
+    std::printf("ServingEngine %s tok/s, router %s tok/s "
+                "(ratio %.3f)\n",
+                commaString(serving_tps, 2).c_str(),
+                commaString(router_tps, 2).c_str(), ratio);
+    if (ratio < 0.5 || ratio > 2.0)
+        fail("clean-config router throughput far from ServingEngine");
+
+    // -- BENCH_router.json --------------------------------------------------
+
+    obs::JsonWriter w(2);
+    w.beginObject();
+    w.field("model", cfg.name);
+    w.field("shards", rc.shards);
+    w.field("slots_per_shard", rc.slotsPerShard);
+    w.field("requests", requests);
+    w.key("fault_schedule").beginArray();
+    for (const ShardFaultEvent *ev : {&repaired, &killed, &lossy}) {
+        w.beginObject()
+            .field("step", ev->step)
+            .field("shard", ev->shard)
+            .field("stuck_bit_rate", ev->modelFaults.stuckBitRate)
+            .field("dead_row_rate", ev->modelFaults.deadRowRate)
+            .field("spare_rows", ev->modelFaults.spareRows)
+            .field("link_retry_probability",
+                   ev->linkFaults.retryProbability)
+            .field("kill_link", ev->killLink)
+            .endObject();
+    }
+    w.endArray();
+    w.key("chaos")
+        .beginObject()
+        .field("goodput_tokens_per_second",
+               stats.goodputTokensPerSecond)
+        .field("shed_rate", shed_rate)
+        .field("ttft_p99_seconds", stats.ttftP99Seconds)
+        .field("latency_p95_seconds", stats.latencyP95Seconds)
+        .field("recovery_seconds", recovery_seconds)
+        .field("recovery_steps", recovery_steps)
+        .field("completed", stats.completed)
+        .field("shed", stats.shed)
+        .field("cancelled", stats.cancelled)
+        .field("failovers", stats.failovers)
+        .field("retries", stats.retries)
+        .field("degraded_mode", stats.degradedMode)
+        .key("metrics")
+        .rawValue(router.metricsJson())
+        .endObject();
+    w.key("clean_parity")
+        .beginObject()
+        .field("requests", parity_requests)
+        .field("serving_engine_tokens_per_second", serving_tps)
+        .field("router_tokens_per_second", router_tps)
+        .field("ratio", ratio)
+        .endObject();
+    w.endObject();
+    writeJsonFile(json_path, w, "chaos + clean parity");
+    return 0;
+}

@@ -14,8 +14,15 @@
 # portable fallback of the Simd kernel (the only body on non-x86 hosts)
 # keeps passing the same bit-exactness sweep as the vector bodies.
 #
+# A fifth leg rebuilds the router and fault tests under
+# UndefinedBehaviorSanitizer: the retry backoff computes shifted
+# delays, the fault injector flips generated bit positions, and the
+# link model multiplies tick arithmetic -- all places where a shift
+# past the type width or a signed overflow stays silent in a normal
+# build.
+#
 # Usage: scripts/tier1.sh [build_dir] [tsan_build_dir] [asan_build_dir]
-#        [nosimd_build_dir]
+#        [nosimd_build_dir] [ubsan_build_dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +30,7 @@ BUILD_DIR="${1:-build}"
 TSAN_DIR="${2:-build-tsan}"
 ASAN_DIR="${3:-build-asan}"
 NOSIMD_DIR="${4:-build-nosimd}"
+UBSAN_DIR="${5:-build-ubsan}"
 
 echo "== tier-1: build + ctest =="
 cmake -B "$BUILD_DIR" -S .
@@ -51,6 +59,14 @@ echo "== tier-1: serving tests under ThreadSanitizer =="
 # across batch sizes, kernels and thread counts.
 cmake --build "$TSAN_DIR" -j --target test_serving
 (cd "$TSAN_DIR" && ctest --output-on-failure -L '^serving$')
+
+echo "== tier-1: router tests under ThreadSanitizer =="
+# ServingRouter::run steps every busy shard on its own thread while
+# the router thread owns scheduling state between steps; TSan proves
+# the shard workers really touch disjoint slots/outcomes and that
+# completion/metrics handling stays on the router thread.
+cmake --build "$TSAN_DIR" -j --target test_router
+(cd "$TSAN_DIR" && ctest --output-on-failure -L '^router$')
 
 echo "== tier-1: observability tests under ThreadSanitizer =="
 # Metric counters, the tracer mutex and the pool chunk observer are hit
@@ -81,5 +97,21 @@ echo "== tier-1: fault tests under AddressSanitizer =="
 cmake -B "$ASAN_DIR" -S . -DHNLPU_SANITIZE=address
 cmake --build "$ASAN_DIR" -j --target test_fault
 (cd "$ASAN_DIR" && ctest --output-on-failure -L '^fault$')
+
+echo "== tier-1: router + fault tests under UBSan =="
+cmake -B "$UBSAN_DIR" -S . -DHNLPU_SANITIZE=undefined
+cmake --build "$UBSAN_DIR" -j --target test_router --target test_fault
+(cd "$UBSAN_DIR" && ctest --output-on-failure -L '^(router|fault)$')
+
+echo "== tier-1: router chaos bench survives a killed shard =="
+# 4 shards, heavy-tail arrivals, a seeded mid-run fault schedule that
+# drains one shard outright; the bench exits non-zero unless every
+# completed request is bit-identical to a clean solo generate and
+# every shed carries a typed policy reason.  The JSON report must
+# satisfy a strict parser.
+cmake --build "$BUILD_DIR" -j --target bench_router_chaos
+"$BUILD_DIR"/bench/bench_router_chaos 56 \
+    "$BUILD_DIR"/BENCH_router.json > /dev/null
+python3 -m json.tool "$BUILD_DIR"/BENCH_router.json > /dev/null
 
 echo "tier-1 OK"

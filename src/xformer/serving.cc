@@ -1,6 +1,7 @@
 #include "xformer/serving.hh"
 
 #include <chrono>
+#include <cmath>
 
 #include "common/logging.hh"
 #include "obs/json.hh"
@@ -20,6 +21,64 @@ constexpr std::size_t kQuantileBins = 4096;
 
 } // namespace
 
+const char *
+rejectReasonName(RejectReason reason)
+{
+    switch (reason) {
+      case RejectReason::None: return "none";
+      case RejectReason::EmptyPrompt: return "empty_prompt";
+      case RejectReason::ZeroDecodeTokens: return "zero_decode_tokens";
+      case RejectReason::TokenOutOfVocab: return "token_out_of_vocab";
+      case RejectReason::ArrivalOrderViolation:
+        return "arrival_order_violation";
+      case RejectReason::InvalidSampler: return "invalid_sampler";
+      case RejectReason::DeadlineInfeasible:
+        return "deadline_infeasible";
+      case RejectReason::QueueFull: return "queue_full";
+      case RejectReason::DegradedShed: return "degraded_shed";
+      case RejectReason::NoUsableShard: return "no_usable_shard";
+      case RejectReason::RetriesExhausted: return "retries_exhausted";
+      case RejectReason::DeadlineExpired: return "deadline_expired";
+    }
+    hnlpu_panic("unknown RejectReason ", int(reason));
+}
+
+RejectReason
+validateSamplerConfig(const SamplerConfig &sampler,
+                      std::size_t vocab_size)
+{
+    if (!std::isfinite(sampler.temperature) ||
+        sampler.temperature < 0.0) {
+        hnlpu_warn_ratelimited(
+            "rejecting sampler config: temperature ",
+            sampler.temperature,
+            " is not a finite non-negative value");
+        return RejectReason::InvalidSampler;
+    }
+    if (sampler.topK > vocab_size) {
+        hnlpu_warn_ratelimited("rejecting sampler config: top-k ",
+                               sampler.topK, " exceeds vocab size ",
+                               vocab_size);
+        return RejectReason::InvalidSampler;
+    }
+    return RejectReason::None;
+}
+
+RejectReason
+validateServingRequest(const ServingRequest &request,
+                       std::size_t vocab_size)
+{
+    if (request.prompt.empty())
+        return RejectReason::EmptyPrompt;
+    if (request.decodeTokens == 0)
+        return RejectReason::ZeroDecodeTokens;
+    for (const std::size_t id : request.prompt) {
+        if (id >= vocab_size)
+            return RejectReason::TokenOutOfVocab;
+    }
+    return validateSamplerConfig(request.sampler, vocab_size);
+}
+
 ServingEngine::ServingEngine(Engine &engine, std::size_t slots)
     : engine_(engine),
       slots_(slots != 0 ? slots : engine.execOptions().batchSlots)
@@ -27,26 +86,29 @@ ServingEngine::ServingEngine(Engine &engine, std::size_t slots)
     hnlpu_assert(slots_ >= 1, "serving engine needs at least one slot");
 }
 
+EnqueueResult
+ServingEngine::tryEnqueue(ServingRequest request)
+{
+    const RejectReason reason =
+        validateServingRequest(request, engine_.config().vocabSize);
+    if (reason != RejectReason::None)
+        return {0, reason};
+    if (!queue_.empty() &&
+        queue_.back().arrivalStep > request.arrivalStep)
+        return {0, RejectReason::ArrivalOrderViolation};
+    queue_.push_back(std::move(request));
+    return {nextId_++, RejectReason::None};
+}
+
 std::size_t
 ServingEngine::enqueue(ServingRequest request)
 {
-    hnlpu_assert(!request.prompt.empty(),
-                 "serving request needs a non-empty prompt");
-    hnlpu_assert(request.decodeTokens >= 1,
-                 "serving request must decode at least one token");
-    for (std::size_t i = 0; i < request.prompt.size(); ++i) {
-        hnlpu_assert(request.prompt[i] < engine_.config().vocabSize,
-                     "prompt token ", i, " id ", request.prompt[i],
-                     " out of vocab range ",
-                     engine_.config().vocabSize);
+    const EnqueueResult result = tryEnqueue(std::move(request));
+    if (!result.admitted()) {
+        hnlpu_fatal("serving enqueue rejected: ",
+                    rejectReasonName(result.reason));
     }
-    hnlpu_assert(queue_.empty() ||
-                     queue_.back().arrivalStep <= request.arrivalStep,
-                 "requests must be enqueued in arrival order (got step ",
-                 request.arrivalStep, " after ",
-                 queue_.back().arrivalStep, ")");
-    queue_.push_back(std::move(request));
-    return nextId_++;
+    return result.id;
 }
 
 std::vector<ServingOutcome>

@@ -47,6 +47,72 @@ struct ServingRequest
     std::uint64_t seed = 0;           //!< per-request sampler seed
 };
 
+/**
+ * Typed reasons a request is refused at admission, shed by load/health
+ * policy, or cancelled after admission.  A serving front end must never
+ * abort on bad traffic -- it reports one of these instead, and the
+ * fatal legacy entry points (ServingEngine::enqueue) are thin wrappers
+ * that translate a reason back into the historical hard failure.
+ *
+ * The first group is request validation, the second admission-control /
+ * health policy (used by serve::ServingRouter), the third cancellation
+ * of already-admitted work.
+ */
+enum class RejectReason
+{
+    None = 0,              //!< accepted (not a rejection)
+    // Request validation.
+    EmptyPrompt,           //!< prompt has no tokens
+    ZeroDecodeTokens,      //!< nothing to generate
+    TokenOutOfVocab,       //!< a prompt id >= vocabSize
+    ArrivalOrderViolation, //!< arrivalStep below the queue tail's
+    InvalidSampler,        //!< non-finite/negative temperature, topK > vocab
+    DeadlineInfeasible,    //!< budget below the minimum servable steps
+    // Admission control and shard health (router policy).
+    QueueFull,             //!< bounded class queue at capacity
+    DegradedShed,          //!< batch traffic shed in degraded mode
+    NoUsableShard,         //!< every shard drained or unreachable
+    RetriesExhausted,      //!< failovers exceeded the retry budget
+    // Cancellation of admitted work.
+    DeadlineExpired,       //!< TTFT or total step budget ran out
+};
+
+/** Number of distinct RejectReason values (for dense count arrays). */
+constexpr std::size_t kRejectReasonCount = 12;
+
+/** Stable snake_case name (JSON keys, log lines). */
+const char *rejectReasonName(RejectReason reason);
+
+/**
+ * Validate a sampling policy against a model: the temperature must be
+ * finite and non-negative (the Sampler would otherwise panic or
+ * produce scan-order-dependent draws) and topK must not exceed the
+ * vocabulary.  Returns None or InvalidSampler; an invalid config emits
+ * a rate-limited warn so misbehaving clients are visible without
+ * flooding stderr.
+ */
+RejectReason validateSamplerConfig(const SamplerConfig &sampler,
+                                   std::size_t vocab_size);
+
+/**
+ * Validate everything about a request that does not depend on queue
+ * state: prompt non-empty and in-vocab, decodeTokens >= 1, sampler
+ * valid.  Returns None or the first violated rule, in the order the
+ * RejectReason enumerators are declared.
+ */
+RejectReason validateServingRequest(const ServingRequest &request,
+                                    std::size_t vocab_size);
+
+/** Outcome of a non-fatal enqueue attempt. */
+struct EnqueueResult
+{
+    /** Request id (enqueue order); valid only when admitted(). */
+    std::size_t id = 0;
+    RejectReason reason = RejectReason::None;
+
+    bool admitted() const { return reason == RejectReason::None; }
+};
+
 /** Completion record for one served request. */
 struct ServingOutcome
 {
@@ -68,7 +134,14 @@ struct ServingOutcome
     double decodeTokensPerSecond = 0;
 };
 
-/** Aggregate statistics of one ServingEngine::run. */
+/**
+ * Aggregate statistics of one ServingEngine::run.
+ *
+ * Every field is well-defined on an empty run (zero requests): means,
+ * occupancy and percentiles are 0, never NaN, so downstream JSON
+ * emitters and dashboards need no special-casing (obs::JsonWriter would
+ * otherwise turn a NaN into null and silently break schema consumers).
+ */
 struct ServingStats
 {
     std::size_t requests = 0;
@@ -110,10 +183,18 @@ class ServingEngine
     explicit ServingEngine(Engine &engine, std::size_t slots = 0);
 
     /**
-     * Queue a request (FIFO).  Fatal on an empty prompt, zero decode
-     * tokens, an out-of-vocab prompt id, or an arrivalStep below an
-     * already-queued request's (the queue must be arrival-sorted, the
-     * same contract ContinuousBatcher::serve enforces).
+     * Queue a request (FIFO) if it is valid: non-empty in-vocab prompt,
+     * decodeTokens >= 1, valid sampler, and an arrivalStep no earlier
+     * than the queue tail's (the queue must be arrival-sorted, the same
+     * contract ContinuousBatcher::serve enforces).  An invalid request
+     * is refused with a typed reason and the queue is untouched --
+     * serving front ends shed it instead of crashing.
+     */
+    EnqueueResult tryEnqueue(ServingRequest request);
+
+    /**
+     * Legacy fatal wrapper around tryEnqueue(): a rejected request is a
+     * hard configuration error here.
      * @return the request id (enqueue order, stable across run())
      */
     std::size_t enqueue(ServingRequest request);

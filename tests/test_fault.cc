@@ -21,6 +21,8 @@
 #include "model/model_zoo.hh"
 #include "noc/collectives.hh"
 #include "pipeline/pipeline_sim.hh"
+#include "xformer/engine.hh"
+#include "xformer/sampler.hh"
 
 namespace hnlpu {
 namespace {
@@ -540,6 +542,53 @@ TEST(FaultLogging, WarnRateLimiterBurstsThenThrottles)
             detail::WarnRateLimiter::kPeriod;
     EXPECT_EQ(logged, expected);
     EXPECT_EQ(limiter.occurrences(), 3000u);
+}
+
+// -- live fault injection premise (serve::ServingRouter's probe) ----------
+
+TEST(FaultModel, SpareRepairedModelGeneratesBitIdenticalUnrepairedDiverges)
+{
+    // The serving router's health probe rests on exactly this
+    // dichotomy: a fully spare-repaired model is functionally
+    // indistinguishable from clean weights (in-flight KV caches stay
+    // valid, decode continues bit-identically), while an unrepairable
+    // plan changes greedy output and must be detected and drained.
+    const auto cfg = tinyTestModel();
+    const auto clean = ModelWeights::randomInit(cfg, 31);
+    const std::vector<std::size_t> prompt{1, 2, 3};
+    Engine clean_engine(cfg, clean, ExecPath::Reference);
+    Sampler g0(SamplerConfig{0.0, 0}, 0);
+    const auto golden = clean_engine.generate(prompt, 6, g0);
+
+    FaultModelParams repairable;
+    repairable.seed = 21;
+    repairable.deadRowRate = 0.02;
+    repairable.spareRows = 64;
+    {
+        FaultInjector injector(repairable);
+        ModelFaultStats fstats;
+        const auto twin = applyToModel(clean, cfg, injector, &fstats);
+        ASSERT_GT(fstats.repairedRows, 0u);
+        ASSERT_EQ(fstats.deadRows, 0u);
+        ASSERT_EQ(fstats.stuckBits, 0u);
+        Engine twin_engine(cfg, twin, ExecPath::Reference);
+        Sampler g1(SamplerConfig{0.0, 0}, 0);
+        EXPECT_EQ(twin_engine.generate(prompt, 6, g1), golden);
+    }
+
+    FaultModelParams harsh = repairable;
+    harsh.spareRows = 0;
+    harsh.stuckBitRate = 0.05;
+    harsh.deadRowRate = 0.05;
+    {
+        FaultInjector injector(harsh);
+        ModelFaultStats fstats;
+        const auto twin = applyToModel(clean, cfg, injector, &fstats);
+        ASSERT_GT(fstats.deadRows + fstats.flippedBits, 0u);
+        Engine twin_engine(cfg, twin, ExecPath::Reference);
+        Sampler g2(SamplerConfig{0.0, 0}, 0);
+        EXPECT_NE(twin_engine.generate(prompt, 6, g2), golden);
+    }
 }
 
 } // namespace

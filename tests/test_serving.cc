@@ -493,5 +493,92 @@ TEST(Serving, StatsAndMetricsJsonAreConsistent)
     EXPECT_TRUE(serving.run().empty());
 }
 
+// -- Typed admission control ----------------------------------------------
+
+TEST(Serving, TryEnqueueTypedRejectionsLeaveQueueUntouched)
+{
+    const auto cfg = tinyTestModel();
+    const auto weights = ModelWeights::randomInit(cfg, 51);
+    Engine engine(cfg, weights, ExecPath::Reference);
+    ServingEngine serving(engine);
+
+    ServingRequest empty;
+    empty.decodeTokens = 2;
+    EXPECT_EQ(serving.tryEnqueue(empty).reason,
+              RejectReason::EmptyPrompt);
+
+    ServingRequest zero;
+    zero.prompt = {1, 2};
+    EXPECT_EQ(serving.tryEnqueue(zero).reason,
+              RejectReason::ZeroDecodeTokens);
+
+    ServingRequest oov;
+    oov.prompt = {1, cfg.vocabSize};
+    oov.decodeTokens = 1;
+    EXPECT_EQ(serving.tryEnqueue(oov).reason,
+              RejectReason::TokenOutOfVocab);
+
+    ServingRequest bad_temp;
+    bad_temp.prompt = {1};
+    bad_temp.decodeTokens = 1;
+    bad_temp.sampler.temperature = -0.1;
+    EXPECT_EQ(serving.tryEnqueue(bad_temp).reason,
+              RejectReason::InvalidSampler);
+
+    ServingRequest bad_topk;
+    bad_topk.prompt = {1};
+    bad_topk.decodeTokens = 1;
+    bad_topk.sampler.topK = cfg.vocabSize + 1;
+    EXPECT_EQ(serving.tryEnqueue(bad_topk).reason,
+              RejectReason::InvalidSampler);
+
+    // Nothing slipped into the queue.
+    EXPECT_EQ(serving.queuedRequests(), 0u);
+
+    ServingRequest ok;
+    ok.prompt = {1, 2};
+    ok.decodeTokens = 1;
+    ok.arrivalStep = 5;
+    const EnqueueResult admitted = serving.tryEnqueue(ok);
+    EXPECT_TRUE(admitted.admitted());
+    EXPECT_EQ(admitted.id, 0u);
+
+    ServingRequest backwards = ok;
+    backwards.arrivalStep = 4;
+    EXPECT_EQ(serving.tryEnqueue(backwards).reason,
+              RejectReason::ArrivalOrderViolation);
+    EXPECT_EQ(serving.queuedRequests(), 1u);
+
+    // Stable reason names (JSON keys, log lines).
+    EXPECT_STREQ(rejectReasonName(RejectReason::None), "none");
+    EXPECT_STREQ(rejectReasonName(RejectReason::QueueFull),
+                 "queue_full");
+    EXPECT_STREQ(rejectReasonName(RejectReason::DeadlineExpired),
+                 "deadline_expired");
+}
+
+TEST(Serving, EmptyRunStatsAreZeroNotNaN)
+{
+    const auto cfg = tinyTestModel();
+    const auto weights = ModelWeights::randomInit(cfg, 52);
+    Engine engine(cfg, weights, ExecPath::Reference);
+    ServingEngine serving(engine, 2);
+
+    EXPECT_TRUE(serving.run().empty());
+    const ServingStats &stats = serving.stats();
+    EXPECT_EQ(stats.requests, 0u);
+    EXPECT_EQ(stats.executedSteps, 0u);
+    EXPECT_EQ(stats.forwards, 0u);
+    EXPECT_EQ(stats.decodedTokens, 0u);
+    for (const double v :
+         {stats.wallSeconds, stats.aggregateTokensPerSecond,
+          stats.meanOccupancy, stats.meanQueueSeconds,
+          stats.ttftP50Seconds, stats.ttftP95Seconds,
+          stats.latencyP50Seconds, stats.latencyP95Seconds}) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_EQ(v, 0.0);
+    }
+}
+
 } // namespace
 } // namespace hnlpu
